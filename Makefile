@@ -1,0 +1,34 @@
+# Standard development targets. Stdlib-only module; no network needed.
+
+GO ?= go
+
+.PHONY: all build test race bench repro fmt vet check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every table and figure of the paper (paper-vs-measured).
+repro:
+	$(GO) run ./cmd/ebda-repro -details
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test
+
+clean:
+	$(GO) clean ./...

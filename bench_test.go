@@ -1,0 +1,378 @@
+// Benchmarks: one per table and figure of the paper (regenerating the
+// artifact end to end, verification included), plus the extension
+// experiments, micro-benchmarks of the core machinery, and the ablation
+// benches DESIGN.md calls out.
+package ebda_test
+
+import (
+	"testing"
+
+	"ebda/internal/cdg"
+	"ebda/internal/channel"
+	"ebda/internal/core"
+	"ebda/internal/deadlock"
+	"ebda/internal/duato"
+	"ebda/internal/experiments"
+	"ebda/internal/multicast"
+	"ebda/internal/paper"
+	"ebda/internal/partstrat"
+	"ebda/internal/routing"
+	"ebda/internal/sim"
+	"ebda/internal/synth"
+	"ebda/internal/topology"
+	"ebda/internal/updown"
+)
+
+// quick are the reduced-size options used for simulation-heavy benches.
+var quick = experiments.Options{Quick: true}
+
+func benchExperiment(b *testing.B, run func(experiments.Options) experiments.Result, opts experiments.Options) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res := run(opts)
+		if !res.Match {
+			b.Fatalf("experiment mismatch: %s", res)
+		}
+	}
+}
+
+// --- One benchmark per paper artifact -----------------------------------
+
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, experiments.E01, quick) }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, experiments.E02, quick) }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, experiments.E03, quick) }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, experiments.E04, quick) }
+func BenchmarkFig7(b *testing.B)   { benchExperiment(b, experiments.E05, quick) }
+func BenchmarkFig8(b *testing.B)   { benchExperiment(b, experiments.E06, quick) }
+func BenchmarkFig9(b *testing.B)   { benchExperiment(b, experiments.E07, quick) }
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, experiments.E08, quick) }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, experiments.E09, quick) }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, experiments.E10, quick) }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, experiments.E11, quick) }
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, experiments.E12, quick) }
+
+func BenchmarkTurnModelSearch(b *testing.B) { benchExperiment(b, experiments.E13, quick) }
+func BenchmarkAlgorithm1(b *testing.B)      { benchExperiment(b, experiments.E14, quick) }
+func BenchmarkHamiltonian(b *testing.B)     { benchExperiment(b, experiments.E15, quick) }
+func BenchmarkRoutingLogic(b *testing.B)    { benchExperiment(b, experiments.E16, quick) }
+
+func BenchmarkSimSweep(b *testing.B)          { benchExperiment(b, experiments.X01, quick) }
+func BenchmarkDeadlockInjection(b *testing.B) { benchExperiment(b, experiments.X02, quick) }
+func BenchmarkTorus(b *testing.B)             { benchExperiment(b, experiments.X03, quick) }
+func BenchmarkSaturation(b *testing.B)        { benchExperiment(b, experiments.X04, quick) }
+func BenchmarkSwitchingModes(b *testing.B)    { benchExperiment(b, experiments.X05, quick) }
+func BenchmarkMulticast(b *testing.B)         { benchExperiment(b, experiments.X06, quick) }
+func BenchmarkTheoryContrast(b *testing.B)    { benchExperiment(b, experiments.X07, quick) }
+
+// BenchmarkMinChannels runs the exhaustive n=2 lower-bound search (the
+// expensive part of E07, skipped in the quick experiment run).
+func BenchmarkMinChannels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ok, best := experiments.SearchNoFullyAdaptiveBelow(6)
+		if !ok || best >= 1 {
+			b.Fatalf("search: ok=%v best=%f", ok, best)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the core machinery ------------------------------
+
+func BenchmarkDeadlockConfigurationSearch(b *testing.B) {
+	net := topology.NewMesh(4, 4)
+	du := duato.New()
+	vcs := cdg.VCConfig(du.VCsPerDim(net))
+	for i := 0; i < b.N; i++ {
+		if !deadlock.Find(net, vcs, du).Empty() {
+			b.Fatal("Duato should be configuration-free")
+		}
+	}
+}
+
+func BenchmarkMulticastBroadcast(b *testing.B) {
+	net := topology.NewMesh(8, 8)
+	h, err := multicast.New(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dsts []topology.NodeID
+	for id := topology.NodeID(1); int(id) < net.Nodes(); id++ {
+		dsts = append(dsts, id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		route, err := h.DualPath(0, dsts)
+		if err != nil || route.Hops() == 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanarAdaptiveVerify(b *testing.B) {
+	net := topology.NewMesh(4, 4, 4)
+	alg := routing.NewPlanarAdaptive()
+	vcs := cdg.VCConfig(alg.VCsPerDim(net))
+	for i := 0; i < b.N; i++ {
+		if !routing.Verify(net, vcs, alg).Acyclic {
+			b.Fatal("cyclic")
+		}
+	}
+}
+
+func BenchmarkFaultTolerantReroute(b *testing.B) {
+	base := topology.NewMesh(6, 6)
+	faulty := base.WithoutLinks([]topology.Link{{
+		From: base.ID(topology.Coord{2, 3}), Dim: channel.X, Sign: channel.Plus,
+	}})
+	chain := paper.Figure7P1()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		alg := routing.NewFaultTolerant("ft", chain, faulty)
+		if del := routing.CheckDelivery(faulty, alg, 128); !del.OK() {
+			b.Fatalf("%s", del)
+		}
+	}
+}
+
+func BenchmarkUpDownVerify(b *testing.B) {
+	net := topology.NewMesh(6, 6)
+	ud, err := updown.New(net, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if !routing.Verify(net, nil, ud).Acyclic {
+			b.Fatal("cyclic")
+		}
+	}
+}
+
+func BenchmarkSynthesizeRoutingLogic(b *testing.B) {
+	chain := paper.Figure8()
+	for i := 0; i < b.N; i++ {
+		l, err := synth.Generate("fig8", chain, 3)
+		if err != nil || l.Leaves() == 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTurnExtraction3D(b *testing.B) {
+	chain := paper.Figure8()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ts := chain.AllTurns()
+		if ts.Len() != 140 {
+			b.Fatalf("turns = %d", ts.Len())
+		}
+	}
+}
+
+func BenchmarkCDGVerify8x8(b *testing.B) {
+	chain := paper.Figure7P1()
+	net := topology.NewMesh(8, 8)
+	ts := chain.AllTurns()
+	vcs := cdg.VCConfigFor(2, chain.Channels())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !cdg.VerifyTurnSet(net, vcs, ts).Acyclic {
+			b.Fatal("not acyclic")
+		}
+	}
+}
+
+func BenchmarkCDGVerify16x16(b *testing.B) {
+	chain := paper.Figure7P1()
+	net := topology.NewMesh(16, 16)
+	ts := chain.AllTurns()
+	vcs := cdg.VCConfigFor(2, chain.Channels())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !cdg.VerifyTurnSet(net, vcs, ts).Acyclic {
+			b.Fatal("not acyclic")
+		}
+	}
+}
+
+func BenchmarkCDGVerify3D(b *testing.B) {
+	chain := paper.Figure8()
+	net := topology.NewMesh(4, 4, 4)
+	ts := chain.AllTurns()
+	vcs := cdg.VCConfigFor(3, chain.Channels())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !cdg.VerifyTurnSet(net, vcs, ts).Acyclic {
+			b.Fatal("not acyclic")
+		}
+	}
+}
+
+func BenchmarkAdaptiveness(b *testing.B) {
+	chain := paper.Figure7P1()
+	net := topology.NewMesh(5, 5)
+	ts := chain.AllTurns()
+	vcs := cdg.VCConfigFor(2, chain.Channels())
+	for i := 0; i < b.N; i++ {
+		rep, err := cdg.Adaptiveness(net, vcs, ts)
+		if err != nil || !rep.FullyAdaptive() {
+			b.Fatalf("%v %v", rep, err)
+		}
+	}
+}
+
+func BenchmarkPartitioningDerive(b *testing.B) {
+	arr := partstrat.ArrangementFor([]int{2, 2})
+	for i := 0; i < b.N; i++ {
+		chains, err := partstrat.Derive(arr)
+		if err != nil || len(chains) == 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoutingCandidates(b *testing.B) {
+	chain := paper.Figure7P1()
+	alg := routing.NewFromChain("dyxy", chain, 2)
+	net := topology.NewMesh(8, 8)
+	src := net.ID(topology.Coord{1, 1})
+	dst := net.ID(topology.Coord{6, 6})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(alg.Candidates(net, src, nil, dst)) == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}
+
+// BenchmarkSimulatorCycles measures raw simulation speed (cycles include
+// all router pipelines of an 8x8 mesh at moderate load).
+func BenchmarkSimulatorCycles(b *testing.B) {
+	chain := paper.Figure7P1()
+	alg := routing.NewFromChain("dyxy", chain, 2)
+	cfg := sim.Config{
+		Net: topology.NewMesh(8, 8), Alg: alg, VCs: alg.VCs(),
+		InjectionRate: 0.2, Seed: 1,
+		Warmup: 100, Measure: 900, Drain: 0,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := sim.New(cfg).Run()
+		if res.Deadlocked {
+			b.Fatal("deadlocked")
+		}
+	}
+	b.ReportMetric(1000*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// --- Ablation benches (design choices DESIGN.md calls out) ---------------
+
+// BenchmarkAblationTransitions compares any-ascending-order Theorem-3
+// transitions against consecutive-only. Minimal-path adaptiveness is
+// unchanged (each orthant already has a dedicated partition), but the
+// consecutive-only relation admits strictly fewer turns — fewer identical
+// turns and U/I alternatives for load balance and fault tolerance. Both
+// variants must verify acyclic.
+func BenchmarkAblationTransitions(b *testing.B) {
+	chain := paper.Figure9C()
+	net := topology.NewMesh(3, 3, 3)
+	vcs := cdg.VCConfigFor(3, chain.Channels())
+	all := chain.Turns(core.TurnOptions{UITurns: true})
+	consec := chain.Turns(core.TurnOptions{UITurns: true, ConsecutiveOnly: true})
+	if consec.Len() >= all.Len() {
+		b.Fatalf("consecutive-only should admit fewer turns: %d vs %d", consec.Len(), all.Len())
+	}
+	run := func(name string, opts core.TurnOptions) {
+		b.Run(name, func(b *testing.B) {
+			var turns int
+			for i := 0; i < b.N; i++ {
+				ts := chain.Turns(opts)
+				if !cdg.VerifyTurnSet(net, vcs, ts).Acyclic {
+					b.Fatalf("%s: cyclic", name)
+				}
+				turns = ts.Len()
+			}
+			b.ReportMetric(float64(turns), "turns")
+		})
+	}
+	run("all-ascending", core.TurnOptions{UITurns: true})
+	run("consecutive-only", core.TurnOptions{UITurns: true, ConsecutiveOnly: true})
+}
+
+// BenchmarkAblationUITurns compares turn extraction with and without
+// Theorem-2 U/I-turns (both remain acyclic; U/I turns add paths for
+// fault tolerance, not minimal adaptiveness).
+func BenchmarkAblationUITurns(b *testing.B) {
+	chain := paper.Figure8()
+	net := topology.NewMesh(3, 3, 3)
+	vcs := cdg.VCConfigFor(3, chain.Channels())
+	for _, tc := range []struct {
+		name string
+		opts core.TurnOptions
+	}{
+		{"with-ui", core.TurnOptions{UITurns: true}},
+		{"without-ui", core.TurnOptions{}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !cdg.VerifyTurnSet(net, vcs, chain.Turns(tc.opts)).Acyclic {
+					b.Fatal("cyclic")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPartitionCount measures the adaptiveness cost of
+// splitting the channels of one design into 2, 3 and 4 partitions
+// (Tables 1-3 in miniature).
+func BenchmarkAblationPartitionCount(b *testing.B) {
+	net := topology.NewMesh(5, 5)
+	chains := map[string]*core.Chain{
+		"2-partitions": core.MustParseChain("PA[X+ Y+] -> PB[X- Y-]"),
+		"3-partitions": core.MustParseChain("PA[X+ Y+] -> PB[X-] -> PC[Y-]"),
+		"4-partitions": core.MustParseChain("PA[X+] -> PB[Y+] -> PC[X-] -> PD[Y-]"),
+	}
+	for name, chain := range chains {
+		b.Run(name, func(b *testing.B) {
+			var degree float64
+			for i := 0; i < b.N; i++ {
+				rep, err := cdg.Adaptiveness(net, nil, chain.AllTurns())
+				if err != nil {
+					b.Fatal(err)
+				}
+				degree = rep.Degree()
+			}
+			b.ReportMetric(degree, "adaptiveness")
+		})
+	}
+}
+
+// BenchmarkAblationSelection compares the simulator's VC selection
+// policies on the fully adaptive design.
+func BenchmarkAblationSelection(b *testing.B) {
+	chain := paper.Figure7P1()
+	alg := routing.NewFromChain("dyxy", chain, 2)
+	for _, tc := range []struct {
+		name string
+		sel  sim.Selection
+	}{
+		{"random", sim.SelectRandom},
+		{"first", sim.SelectFirst},
+		{"credits", sim.SelectCredits},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var latency float64
+			for i := 0; i < b.N; i++ {
+				res := sim.New(sim.Config{
+					Net: topology.NewMesh(8, 8), Alg: alg, VCs: alg.VCs(),
+					InjectionRate: 0.25, Seed: 1, Selection: tc.sel,
+					Warmup: 300, Measure: 900, Drain: 300,
+				}).Run()
+				if res.Deadlocked {
+					b.Fatal("deadlocked")
+				}
+				latency = res.AvgLatency
+			}
+			b.ReportMetric(latency, "latency-cycles")
+		})
+	}
+}

@@ -1,0 +1,119 @@
+// Command ebda-draw renders reproduction artifacts as SVG: turn diagrams
+// in the style of the paper's figures, and per-node traffic heatmaps from
+// simulator runs.
+//
+// Usage examples:
+//
+//	ebda-draw -chain "PA[X+ X- Y-] -> PB[Y+]" -o northlast.svg
+//	ebda-draw -chain "PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]" -o dyxy.svg
+//	ebda-draw -heatmap -alg xy -pattern transpose -mesh 8x8 -o heat.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ebda/internal/core"
+	"ebda/internal/routing"
+	"ebda/internal/sim"
+	"ebda/internal/topology"
+	"ebda/internal/traffic"
+	"ebda/internal/viz"
+)
+
+func main() {
+	chainSpec := flag.String("chain", "", "partition chain to draw as a turn diagram")
+	out := flag.String("o", "", "output SVG file (stdout when empty)")
+	heatmap := flag.Bool("heatmap", false, "render a traffic heatmap instead of a turn diagram")
+	algName := flag.String("alg", "xy", "heatmap: routing algorithm (xy, dyxy, odd-even, ...)")
+	patternName := flag.String("pattern", "uniform", "heatmap: traffic pattern")
+	meshSpec := flag.String("mesh", "8x8", "heatmap: mesh sizes")
+	rate := flag.Float64("rate", 0.25, "heatmap: injection rate (flits/node/cycle)")
+	flag.Parse()
+
+	var (
+		svg string
+		err error
+	)
+	switch {
+	case *heatmap:
+		svg, err = renderHeatmap(*meshSpec, *algName, *patternName, *rate)
+	case *chainSpec != "":
+		var chain *core.Chain
+		chain, err = core.ParseChain(*chainSpec)
+		if err == nil {
+			svg, err = viz.TurnDiagram(chain.AllTurns())
+		}
+	default:
+		err = fmt.Errorf("one of -chain or -heatmap is required")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ebda-draw:", err)
+		os.Exit(2)
+	}
+	if *out == "" {
+		fmt.Print(svg)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(svg), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "ebda-draw:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, len(svg))
+}
+
+func renderHeatmap(meshSpec, algName, patternName string, rate float64) (string, error) {
+	sizes, err := parseSizes(meshSpec)
+	if err != nil {
+		return "", err
+	}
+	net := topology.NewMesh(sizes...)
+	pattern, err := traffic.ByName(patternName)
+	if err != nil {
+		return "", err
+	}
+	var (
+		alg routing.Algorithm
+		vcs []int
+	)
+	switch algName {
+	case "xy":
+		alg = routing.NewXY()
+	case "odd-even", "oe":
+		alg = routing.NewOddEven()
+	case "west-first", "wf":
+		alg = routing.NewWestFirst()
+	case "dyxy", "ebda", "ebda-6ch":
+		fc := routing.NewFromChain("ebda-6ch",
+			core.MustParseChain("PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]"), net.Dims())
+		alg, vcs = fc, fc.VCs()
+	default:
+		return "", fmt.Errorf("unknown algorithm %q", algName)
+	}
+	s := sim.New(sim.Config{
+		Net: net, Alg: alg, VCs: vcs,
+		InjectionRate: rate, Pattern: pattern, Seed: 1,
+		Warmup: 500, Measure: 2000, Drain: 500,
+	})
+	res := s.Run()
+	if res.Deadlocked {
+		return "", fmt.Errorf("simulation deadlocked: %s", res)
+	}
+	return viz.Heatmap(net, s.NodeLoad())
+}
+
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, "x")
+	sizes := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 2 {
+			return nil, fmt.Errorf("bad size %q", p)
+		}
+		sizes[i] = v
+	}
+	return sizes, nil
+}

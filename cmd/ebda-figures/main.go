@@ -1,0 +1,231 @@
+// Command ebda-figures regenerates the turn-set figures of the EbDa paper
+// (Figures 3-9) and the section-level numeric artifacts (Section 2 search
+// space as figure 0, Section 5 worked example as figure 14, Section 6.2
+// Hamiltonian coverage as figure 15).
+//
+// Usage:
+//
+//	ebda-figures [-fig N]    (N in {0, 3..9, 14, 15}; default: all)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ebda/internal/cdg"
+	"ebda/internal/core"
+	"ebda/internal/paper"
+	"ebda/internal/topology"
+)
+
+func main() {
+	fig := flag.Int("fig", -1, "figure number (0, 3-9, 14, 15); -1 prints all")
+	flag.Parse()
+	figs := []int{0, 3, 4, 5, 6, 7, 8, 9, 10, 14, 15}
+	if *fig >= 0 {
+		figs = []int{*fig}
+	}
+	for _, f := range figs {
+		if fn, ok := printers[f]; ok {
+			fn()
+			fmt.Println()
+		} else {
+			fmt.Fprintf(os.Stderr, "unknown figure %d\n", f)
+			os.Exit(2)
+		}
+	}
+}
+
+var printers = map[int]func(){
+	0:  printSection2,
+	3:  printFig3,
+	4:  printFig4,
+	5:  printFig5,
+	6:  printFig6,
+	7:  printFig7,
+	8:  printFig8,
+	9:  printFig9,
+	10: printFig10,
+	14: printSection5,
+	15: printHamiltonian,
+}
+
+func printFig10() {
+	chain := paper.Figure10()
+	fmt.Printf("Figure 10: Odd-Even turns via %s\n", chain.PlainString())
+	for _, row := range paper.Table4Expected() {
+		fmt.Printf("  %-8s %s\n", row.Label, row.Turns90)
+	}
+	fmt.Println(verifyLine(topology.NewMesh(8, 8), chain))
+}
+
+func verifyLine(net *topology.Network, chain *core.Chain) string {
+	return "  verification: " + cdg.VerifyChain(net, chain).String()
+}
+
+func printFig3() {
+	chain := paper.Figure3()
+	fmt.Printf("Figure 3: %s\n", chain.PlainString())
+	fmt.Printf("  90-degree turns: %s\n", core.FormatTurnsPlain(chain.Turns90().Turns()))
+	fmt.Println(verifyLine(topology.NewMesh(8, 8), chain))
+}
+
+func printFig4() {
+	chain := paper.Figure4()
+	ts := chain.AllTurns()
+	_, nU, nI := ts.Counts()
+	fmt.Printf("Figure 4: %s\n", chain.PlainString())
+	fmt.Printf("  U-turns (%d): %s\n", nU, core.FormatTurns(ts.ByKind(core.UTurn)))
+	fmt.Printf("  I-turns (%d): %s\n", nI, core.FormatTurns(ts.ByKind(core.ITurn)))
+	u, i, total := core.UITurnCounts(3, 3)
+	fmt.Printf("  formula: n(n-1)/2 = %d = ab (%d) + C(a,2)+C(b,2) (%d)\n", total, u, i)
+}
+
+func printFig5() {
+	chain := paper.Figure5()
+	ts := chain.AllTurns()
+	fmt.Printf("Figure 5: %s (North-Last)\n", chain.PlainString())
+	fmt.Printf("  90-degree turns: %s\n", core.FormatTurnsPlain(chain.Turns90().Turns()))
+	fmt.Printf("  U-turns: %s\n", core.FormatTurnsPlain(ts.ByKind(core.UTurn)))
+	fmt.Println(verifyLine(topology.NewMesh(8, 8), chain))
+}
+
+func printFig6() {
+	fmt.Println("Figure 6: partitioning strategies for four channels")
+	mesh := topology.NewMesh(6, 6)
+	for _, nc := range paper.Figure6() {
+		fmt.Printf("  %-30s %s\n", nc.Name, nc.Chain.PlainString())
+		fmt.Printf("    90-degree turns: %s\n", core.FormatTurnsPlain(nc.Chain.Turns90().Turns()))
+		fmt.Printf("    %s\n", cdg.VerifyChain(mesh, nc.Chain))
+	}
+}
+
+func printFig7() {
+	fmt.Println("Figure 7: fully adaptive 2D designs")
+	mesh := topology.NewMesh(5, 5)
+	for _, tc := range []struct {
+		name  string
+		chain *core.Chain
+	}{
+		{"(a) four partitions, 8 channels", paper.Figure7FourPartitions()},
+		{"(b) P1 = DyXY, 6 channels", paper.Figure7P1()},
+		{"(c) P2, 6 channels", paper.Figure7P2()},
+	} {
+		vcs := cdg.VCConfigFor(2, tc.chain.Channels())
+		ad, err := cdg.Adaptiveness(mesh, vcs, tc.chain.AllTurns())
+		fmt.Printf("  %-32s %s\n", tc.name, tc.chain)
+		if err != nil {
+			fmt.Printf("    adaptiveness: %v\n", err)
+		} else {
+			fmt.Printf("    %s; fully adaptive: %v\n", ad, ad.FullyAdaptive())
+		}
+		fmt.Printf("    %s\n", cdg.VerifyChain(mesh, tc.chain))
+	}
+	fmt.Printf("  minimum channels for n=2: %d\n", core.MinChannelsFullyAdaptive(2))
+}
+
+func printFig8() {
+	chain := paper.Figure8()
+	fmt.Printf("Figure 8: turn extraction for %s\n", chain)
+	for _, b := range paper.Figure8Boxes() {
+		fmt.Printf("  %s\n", b.Label)
+		if b.Turns90 != "" {
+			fmt.Printf("    Turns:   %s\n", b.Turns90)
+		}
+		if b.UTurns != "" {
+			fmt.Printf("    U-Turns: %s\n", b.UTurns)
+		}
+		if b.ITurns != "" {
+			fmt.Printf("    I-Turns: %s\n", b.ITurns)
+		}
+		if b.Notes != "" {
+			fmt.Printf("    note: %s\n", b.Notes)
+		}
+	}
+	ts := chain.AllTurns()
+	n90, nU, nI := ts.Counts()
+	fmt.Printf("  totals: %d 90-degree, %d U, %d I\n", n90, nU, nI)
+	fmt.Println(verifyLine(topology.NewMesh(3, 3, 3), chain))
+}
+
+func printFig9() {
+	fmt.Println("Figure 9: 3D fully adaptive designs")
+	mesh := topology.NewMesh(3, 3, 3)
+	for _, tc := range []struct {
+		name  string
+		chain *core.Chain
+	}{
+		{"(a) eight partitions, 24 channels", paper.Figure9EightPartitions()},
+		{"(b) four partitions, 16 channels (2,2,4 VCs)", paper.Figure9B()},
+		{"(c) four partitions, 16 channels (3,2,3 VCs)", paper.Figure9C()},
+	} {
+		fmt.Printf("  %-46s %s\n", tc.name, tc.chain)
+		vcs := cdg.VCConfigFor(3, tc.chain.Channels())
+		ad, err := cdg.Adaptiveness(mesh, vcs, tc.chain.AllTurns())
+		if err == nil {
+			fmt.Printf("    %s; fully adaptive: %v\n", ad, ad.FullyAdaptive())
+		}
+		fmt.Printf("    %s\n", cdg.VerifyChain(mesh, tc.chain))
+	}
+	fmt.Printf("  minimum channels for n=3: %d\n", core.MinChannelsFullyAdaptive(3))
+}
+
+func printSection2() {
+	fmt.Println("Section 2: turn-model verification search space")
+	for _, c := range paper.Section2Claims() {
+		fmt.Printf("  %-35s %2d abstract cycles -> %s combinations (paper: %s)\n",
+			c.Setting, c.Cycles, c.Combos, c.PaperText)
+		if !c.Consistent {
+			fmt.Printf("    note: %s\n", c.Notes)
+		}
+	}
+	rs := paper.TurnModelSearch(topology.NewMesh(4, 4))
+	free, classes := paper.CountDeadlockFree(rs)
+	fmt.Printf("  brute force over all 16 2D removals: %d deadlock-free, %d unique under symmetry\n",
+		free, classes)
+	for _, r := range rs {
+		status := "deadlock-free"
+		if !r.DeadlockFree {
+			status = "CYCLIC"
+		}
+		fmt.Printf("    remove %s (cw) + %s (ccw): %s (class %d)\n",
+			r.RemovedCW.PlainString(), r.RemovedCCW.PlainString(), status, r.SymmetryClass)
+	}
+	res3 := paper.TurnModelSearch3D(topology.NewMesh(3, 3, 3))
+	fmt.Printf("  3D sweep (beyond the paper): %d combinations, %d deadlock-free, %d classes under cube symmetry\n",
+		res3.Combinations, res3.DeadlockFree, res3.Classes)
+}
+
+func printSection5() {
+	fmt.Println("Section 5 worked example: Algorithm 1 on 3,2,3 VCs")
+	arr := paper.Section5Arrangement()
+	for _, s := range arr {
+		fmt.Printf("  input %s\n", s)
+	}
+	chain, err := paper.Section5Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("  result: %s\n", chain)
+	fmt.Printf("  paper:  %s\n", paper.Section5Expected)
+	fmt.Println(verifyLine(topology.NewMesh(3, 3, 3), chain))
+}
+
+func printHamiltonian() {
+	chain := paper.HamiltonianChain()
+	ts := chain.AllTurns()
+	n90, _, _ := ts.Counts()
+	fmt.Printf("Section 6.2: Hamiltonian-path strategy via %s\n", chain.PlainString())
+	fmt.Printf("  90-degree turns (%d): %s\n", n90, core.FormatTurnsPlain(ts.ByKind(core.Turn90)))
+	covered := true
+	for _, t := range paper.HamiltonianPathTurns() {
+		if !ts.Allows(t.From, t.To) {
+			covered = false
+		}
+	}
+	fmt.Printf("  covers all 8 dual-Hamiltonian-path turns: %v\n", covered)
+	rep := cdg.VerifyTurnSet(topology.NewMesh(6, 6), nil, ts)
+	fmt.Printf("  verification: %s\n", rep)
+}

@@ -1,0 +1,97 @@
+// Command ebda-repro runs the full reproduction harness: every table,
+// figure and section-level claim of the EbDa paper (experiments E01..E16)
+// plus the extension experiments (X01..X07), printing paper-vs-measured
+// for each.
+//
+// Usage:
+//
+//	ebda-repro [-quick] [-details] [-markdown|-json] [-only E06]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ebda/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink simulation-based experiments")
+	details := flag.Bool("details", false, "print per-experiment detail lines")
+	only := flag.String("only", "", "run a single experiment by ID (e.g. E06)")
+	markdown := flag.Bool("markdown", false, "emit a Markdown summary table (EXPERIMENTS.md style)")
+	jsonOut := flag.Bool("json", false, "emit results as a JSON array")
+	flag.Parse()
+
+	opts := experiments.Options{Quick: *quick}
+	failures := 0
+	ran := 0
+	var collected []experiments.Result
+	if *markdown {
+		fmt.Println("| ID | Artifact | Paper claim | Measured | Match |")
+		fmt.Println("|---|---|---|---|---|")
+	}
+	for _, r := range experiments.All() {
+		if *only != "" && !strings.EqualFold(r.ID, *only) {
+			continue
+		}
+		res := r.Run(opts)
+		res.ID, res.Name = r.ID, r.Name
+		if *jsonOut {
+			collected = append(collected, res)
+			ran++
+			if !res.Match {
+				failures++
+			}
+			continue
+		}
+		if *markdown {
+			mark := "✔"
+			if !res.Match {
+				mark = "✘"
+			}
+			fmt.Printf("| %s | %s | %s | %s | %s |\n",
+				res.ID, res.Name, escapeMD(res.Paper), escapeMD(res.Measured), mark)
+		} else {
+			fmt.Println(res)
+			if *details {
+				for _, d := range res.Details {
+					fmt.Println("      " + d)
+				}
+			}
+		}
+		ran++
+		if !res.Match {
+			failures++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches %q\n", *only)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(collected); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if failures > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("\n%d experiments, %d mismatches\n", ran, failures)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// escapeMD keeps table cells on one line and pipe-free.
+func escapeMD(s string) string {
+	s = strings.ReplaceAll(s, "|", "\\|")
+	return strings.ReplaceAll(s, "\n", " ")
+}

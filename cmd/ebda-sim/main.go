@@ -1,0 +1,213 @@
+// Command ebda-sim sweeps injection rates through the wormhole simulator
+// for one or more routing algorithms and prints latency/throughput series
+// (the extension experiment X01).
+//
+// Usage examples:
+//
+//	ebda-sim -mesh 8x8 -algs xy,dyxy,duato -rates 0.05:0.40:0.05
+//	ebda-sim -mesh 6x6 -algs odd-even -pattern transpose -packet 8
+//	ebda-sim -mesh 8x8 -algs unrestricted -rates 0.4:0.6:0.1   (deadlocks)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ebda/internal/core"
+	"ebda/internal/duato"
+	"ebda/internal/routing"
+	"ebda/internal/sim"
+	"ebda/internal/topology"
+	"ebda/internal/traffic"
+)
+
+func main() {
+	meshSpec := flag.String("mesh", "8x8", "mesh sizes, e.g. 8x8")
+	algNames := flag.String("algs", "xy,dyxy", "comma-separated algorithms: xy, yx, west-first, north-last, negative-first, odd-even, dyxy, duato, unrestricted")
+	rateSpec := flag.String("rates", "0.05:0.40:0.05", "rate sweep lo:hi:step (flits/node/cycle)")
+	patternName := flag.String("pattern", "uniform", "traffic pattern: uniform, transpose, bit-complement, neighbor, hotspot")
+	packetLen := flag.Int("packet", 5, "packet length in flits")
+	bufDepth := flag.Int("buffers", 4, "per-VC buffer depth in flits")
+	seed := flag.Int64("seed", 1, "random seed")
+	seeds := flag.Int("seeds", 1, "number of independent seeds to average over")
+	traceFile := flag.String("trace", "", "CSV trace file (cycle,srcX,srcY,dstX,dstY[,len]); replaces -pattern/-rates")
+	heatmap := flag.Bool("heatmap", false, "print a per-node traffic heatmap after each run (2D meshes)")
+	warm := flag.Int("warmup", 1000, "warmup cycles")
+	meas := flag.Int("measure", 4000, "measurement cycles")
+	drain := flag.Int("drain", 2000, "drain cycles")
+	flag.Parse()
+
+	sizes, err := parseSizes(*meshSpec)
+	if err != nil {
+		fatal(err)
+	}
+	net := topology.NewMesh(sizes...)
+	pattern, err := traffic.ByName(*patternName)
+	if err != nil {
+		fatal(err)
+	}
+	rates, err := parseRates(*rateSpec)
+	if err != nil {
+		fatal(err)
+	}
+	var trace []traffic.TraceEntry
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		trace, err = traffic.ParseTrace(f, net)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		rates = []float64{0} // one run, rate ignored
+		fmt.Printf("# trace %s: %d packets\n", *traceFile, len(trace))
+	}
+
+	fmt.Printf("# %s, pattern %s, packet %d flits, buffers %d\n",
+		net, pattern.Name(), *packetLen, *bufDepth)
+	fmt.Printf("%-16s %-6s %10s %10s %12s %s\n",
+		"algorithm", "rate", "latency", "p99", "throughput", "status")
+	for _, name := range strings.Split(*algNames, ",") {
+		alg, vcs, err := buildAlg(strings.TrimSpace(name), net)
+		if err != nil {
+			fatal(err)
+		}
+		for _, rate := range rates {
+			cfg := sim.Config{
+				Net: net, Alg: alg, VCs: vcs,
+				InjectionRate: rate, Pattern: pattern,
+				PacketLen: *packetLen, BufferDepth: *bufDepth,
+				Seed:   *seed,
+				Warmup: *warm, Measure: *meas, Drain: *drain,
+				Trace: trace,
+			}
+			if *heatmap {
+				s := sim.New(cfg)
+				res := s.Run()
+				fmt.Printf("%-16s %-6.3f %10.1f %10d %12.4f\n",
+					alg.Name(), rate, res.AvgLatency, res.P99Latency, res.Throughput)
+				printHeatmap(net, s.NodeLoad())
+				continue
+			}
+			if *seeds > 1 {
+				rep := sim.RunSeeds(cfg, *seeds)
+				status := "ok"
+				if rep.Deadlocks > 0 {
+					status = fmt.Sprintf("DEADLOCK in %d/%d runs", rep.Deadlocks, rep.Runs)
+				}
+				fmt.Printf("%-16s %-6.3f %7.1f±%-5.1f %10s %7.4f±%-6.4f %s\n",
+					alg.Name(), rate, rep.Latency.Mean(), rep.Latency.Std(),
+					"-", rep.Throughput.Mean(), rep.Throughput.Std(), status)
+				continue
+			}
+			res := sim.New(cfg).Run()
+			status := "ok"
+			if res.Deadlocked {
+				status = fmt.Sprintf("DEADLOCK (%d flits stuck)", res.StuckFlits)
+			}
+			fmt.Printf("%-16s %-6.3f %10.1f %10d %12.4f %s\n",
+				alg.Name(), rate, res.AvgLatency, res.P99Latency, res.Throughput, status)
+		}
+	}
+}
+
+// printHeatmap renders per-node outbound traffic as a shaded 2D grid
+// (rows printed north to south).
+func printHeatmap(net *topology.Network, loads []int) {
+	if net.Dims() != 2 {
+		fmt.Println("  (heatmap requires a 2D mesh)")
+		return
+	}
+	max := 1
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	shades := []rune(" .:-=+*#%@")
+	w, h := net.Sizes()[0], net.Sizes()[1]
+	for y := h - 1; y >= 0; y-- {
+		fmt.Print("  ")
+		for x := 0; x < w; x++ {
+			l := loads[net.ID(topology.Coord{x, y})]
+			idx := l * (len(shades) - 1) / max
+			fmt.Printf("%c%c", shades[idx], shades[idx])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  (darkest = %d flits/node during measurement)\n", max)
+}
+
+func buildAlg(name string, net *topology.Network) (routing.Algorithm, []int, error) {
+	switch name {
+	case "xy":
+		return routing.NewXY(), nil, nil
+	case "yx":
+		return routing.NewYX(), nil, nil
+	case "west-first", "wf":
+		return routing.NewWestFirst(), nil, nil
+	case "north-last", "nl":
+		return routing.NewNorthLast(), nil, nil
+	case "negative-first", "nf":
+		return routing.NewNegativeFirst(), nil, nil
+	case "odd-even", "oe":
+		return routing.NewOddEven(), nil, nil
+	case "dyxy", "ebda", "ebda-6ch":
+		chain := core.MustParseChain("PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]")
+		alg := routing.NewFromChain("ebda-6ch", chain, net.Dims())
+		return alg, alg.VCs(), nil
+	case "duato":
+		d := duato.New()
+		return d, d.VCsPerDim(net), nil
+	case "planar", "planar-adaptive":
+		p := routing.NewPlanarAdaptive()
+		return p, p.VCsPerDim(net), nil
+	case "unrestricted":
+		return routing.NewUnrestricted(), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, "x")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 2 {
+			return nil, fmt.Errorf("bad size %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func parseRates(s string) ([]float64, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("rates must be lo:hi:step, got %q", s)
+	}
+	var v [3]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("bad rate %q", p)
+		}
+		v[i] = f
+	}
+	var out []float64
+	for r := v[0]; r <= v[1]+1e-9; r += v[2] {
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ebda-sim:", err)
+	os.Exit(2)
+}

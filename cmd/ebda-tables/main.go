@@ -1,0 +1,157 @@
+// Command ebda-tables regenerates Tables 1-5 of the EbDa paper, each
+// verified through the channel dependency graph as it is printed.
+//
+// Usage:
+//
+//	ebda-tables [-table N]    (N in 1..5; default: all)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ebda/internal/cdg"
+	"ebda/internal/core"
+	"ebda/internal/paper"
+	"ebda/internal/topology"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number (1-5); 0 prints all")
+	flag.Parse()
+	if *table < 0 || *table > 5 {
+		fmt.Fprintln(os.Stderr, "table must be 1..5")
+		os.Exit(2)
+	}
+	tables := []int{1, 2, 3, 4, 5}
+	if *table != 0 {
+		tables = []int{*table}
+	}
+	for _, n := range tables {
+		switch n {
+		case 1, 2, 3:
+			printChainTable(n)
+		case 4:
+			printTable4()
+		case 5:
+			printTable5()
+		}
+		fmt.Println()
+	}
+}
+
+func printChainTable(n int) {
+	var (
+		chains []*core.Chain
+		title  string
+		err    error
+	)
+	switch n {
+	case 1:
+		title = "Table 1: Partitioning options leading to maximum adaptiveness"
+		chains, err = paper.Table1()
+	case 2:
+		title = "Table 2: Partitioning options leading to some degrees of adaptiveness"
+		chains = paper.Table2()
+	case 3:
+		title = "Table 3: Partitioning options leading to deterministic routing"
+		chains, err = paper.Table3()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(title)
+	mesh := topology.NewMesh(5, 5)
+	cols := 3
+	if n == 2 {
+		cols = 2
+	}
+	for i, c := range chains {
+		rep := cdg.VerifyChain(mesh, c)
+		status := "ok"
+		if !rep.Acyclic {
+			status = "CYCLIC"
+		}
+		fmt.Printf("  %-36s [%s]", arrowOnly(c), status)
+		if (i+1)%cols == 0 {
+			fmt.Println()
+		}
+	}
+	if len(chains)%cols != 0 {
+		fmt.Println()
+	}
+}
+
+// arrowOnly renders a chain without partition names, as the paper's
+// tables do: "X+X-Y+ -> Y-".
+func arrowOnly(c *core.Chain) string {
+	out := ""
+	for i, p := range c.Partitions() {
+		if i > 0 {
+			out += " -> "
+		}
+		for _, cls := range p.Channels() {
+			out += cls.Plain()
+		}
+	}
+	return out
+}
+
+func printTable4() {
+	fmt.Println("Table 4: Allowable turns in Odd-Even")
+	chain := paper.Table4Chain()
+	fmt.Printf("  partitioning: %s\n", chain.PlainString())
+	for _, row := range paper.Table4Expected() {
+		fmt.Printf("  %-14s 90-degree: %-22s U/I: %s\n", row.Label, row.Turns90, row.UITurns)
+		if row.Notes != "" {
+			fmt.Printf("  %14s note: %s\n", "", row.Notes)
+		}
+	}
+	mesh := topology.NewMesh(6, 6)
+	rep := cdg.VerifyChain(mesh, chain)
+	conn := cdg.Connectivity(mesh, nil, chain.AllTurns(), true)
+	fmt.Printf("  verification: %s; %s\n", rep, conn)
+}
+
+func printTable5() {
+	fmt.Println("Table 5: Allowable turns in the partially connected 3D design")
+	chain := paper.Table5Chain()
+	fmt.Printf("  partitioning: %s\n", chain)
+	vcs := []int{1, 2, 1}
+	parts := chain.Partitions()
+	rows := paper.Table5Expected()
+	printRow := func(label string, turns []core.Turn) {
+		strs := make([]string, len(turns))
+		for i, t := range turns {
+			strs[i] = paper.FormatTurnForDesign(t, vcs)
+		}
+		fmt.Printf("  %-14s %s\n", label, joinWords(strs))
+	}
+	printRow(rows[0].Label, parts[0].InnerTurns(false).Turns())
+	printRow(rows[1].Label, parts[1].InnerTurns(false).Turns())
+	var t3 []core.Turn
+	for _, t := range chain.AllTurns().BySource(core.ByTheorem3) {
+		if t.Kind() == core.Turn90 {
+			t3 = append(t3, t)
+		}
+	}
+	printRow(rows[2].Label, t3)
+	net := topology.NewPartialMesh3D(4, 4, 3, [][2]int{{0, 0}, {3, 3}})
+	cfg := cdg.VCConfigFor(3, chain.Channels())
+	rep := cdg.VerifyTurnSet(net, cfg, chain.AllTurns())
+	fmt.Printf("  verification on %s: %s\n", net, rep)
+	fmt.Printf("  baseline Elevator-First turns (16): %s\n", paper.ElevatorFirstTurns)
+}
+
+func joinWords(ws []string) string {
+	out := ""
+	for i, w := range ws {
+		if i > 0 {
+			out += ", "
+		}
+		out += w
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+// Command ebda-verify checks a user-supplied partition chain on a concrete
+// network: Theorem 1/3 validity, channel-dependency-graph acyclicity with
+// the full Theorem 1-3 turn set, connectivity, and (optionally) the
+// adaptiveness measurement.
+//
+// Usage examples:
+//
+//	ebda-verify -chain "PA[X+ X- Y-] -> PB[Y+]" -mesh 8x8
+//	ebda-verify -chain "PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]" -mesh 8x8 -adaptiveness
+//	ebda-verify -chain "PA[X+ Y+] -> PB[X- Y-]" -torus 6x6
+//	ebda-verify -turns "X+>Y+,X+>Y-,X->Y+,X->Y-" -mesh 8x8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ebda/internal/cdg"
+	"ebda/internal/core"
+	"ebda/internal/topology"
+)
+
+func main() {
+	chainSpec := flag.String("chain", "", "partition chain, e.g. \"PA[X+ X- Y-] -> PB[Y+]\"")
+	chainFile := flag.String("chain-file", "", "JSON file holding the design (see core.Chain's JSON encoding)")
+	turnSpec := flag.String("turns", "", "explicit turn list, e.g. \"X+>Y+,X+>Y-\" (alternative to -chain)")
+	meshSpec := flag.String("mesh", "", "mesh sizes, e.g. 8x8 or 4x4x4")
+	torusSpec := flag.String("torus", "", "torus sizes, e.g. 6x6")
+	adapt := flag.Bool("adaptiveness", false, "also measure minimal-path adaptiveness")
+	connectivity := flag.Bool("connectivity", true, "check all-pairs reachability (minimal routing)")
+	noUI := flag.Bool("no-ui-turns", false, "exclude Theorem-2/3 U- and I-turns")
+	dot := flag.String("dot", "", "write the dependency graph in Graphviz format to this file")
+	witness := flag.Bool("witness", false, "print the topological channel numbering (the deadlock-freedom witness)")
+	flag.Parse()
+
+	net, err := buildNet(*meshSpec, *torusSpec)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *chainFile != "" {
+		if *chainSpec != "" {
+			fatal(fmt.Errorf("use either -chain or -chain-file, not both"))
+		}
+		data, err := os.ReadFile(*chainFile)
+		if err != nil {
+			fatal(err)
+		}
+		var c core.Chain
+		if err := json.Unmarshal(data, &c); err != nil {
+			fatal(err)
+		}
+		*chainSpec = c.String()
+	}
+
+	var (
+		ts  *core.TurnSet
+		vcs cdg.VCConfig
+	)
+	switch {
+	case *chainSpec != "" && *turnSpec != "":
+		fatal(fmt.Errorf("use either -chain or -turns, not both"))
+	case *chainSpec != "":
+		chain, err := core.ParseChain(*chainSpec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chain: %s\n", chain)
+		opts := core.DefaultTurnOptions
+		if *noUI {
+			opts.UITurns = false
+		}
+		ts = chain.Turns(opts)
+		vcs = cdg.VCConfigFor(net.Dims(), chain.Channels())
+	case *turnSpec != "":
+		turns, err := core.ParseTurnList(*turnSpec)
+		if err != nil {
+			fatal(err)
+		}
+		ts = core.NewTurnSet()
+		for _, t := range turns {
+			ts.Add(t.From, t.To, core.ByTheorem1)
+		}
+		vcs = cdg.VCConfigFor(net.Dims(), ts.Classes())
+	default:
+		fatal(fmt.Errorf("one of -chain or -turns is required"))
+	}
+
+	n90, nU, nI := ts.Counts()
+	fmt.Printf("turn set: %d 90-degree, %d U, %d I\n", n90, nU, nI)
+	g := cdg.BuildFromTurnSet(net, vcs, ts)
+	rep := cdg.VerifyTurnSet(net, vcs, ts)
+	fmt.Println(rep)
+	ok := rep.Acyclic
+	if *dot != "" {
+		if err := os.WriteFile(*dot, []byte(g.DOT("ebda")), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dependency graph written to %s\n", *dot)
+	}
+	if *witness {
+		order, err := g.TopoOrder()
+		if err != nil {
+			fmt.Println("no witness:", err)
+		} else {
+			fmt.Println("deadlock-freedom witness (ascending channel numbering):")
+			for i, ch := range order {
+				fmt.Printf("  %4d: %s\n", i+1, ch)
+			}
+		}
+	}
+	if *connectivity {
+		conn := cdg.Connectivity(net, vcs, ts, true)
+		fmt.Printf("connectivity: %s\n", conn)
+		ok = ok && conn.Connected()
+	}
+	if *adapt {
+		ad, err := cdg.Adaptiveness(net, vcs, ts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s\n", ad)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func buildNet(mesh, torus string) (*topology.Network, error) {
+	switch {
+	case mesh != "" && torus != "":
+		return nil, fmt.Errorf("use either -mesh or -torus, not both")
+	case mesh != "":
+		sizes, err := parseSizes(mesh)
+		if err != nil {
+			return nil, err
+		}
+		return topology.NewMesh(sizes...), nil
+	case torus != "":
+		sizes, err := parseSizes(torus)
+		if err != nil {
+			return nil, err
+		}
+		return topology.NewTorus(sizes...), nil
+	default:
+		return topology.NewMesh(8, 8), nil
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, "x")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 2 {
+			return nil, fmt.Errorf("bad size %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ebda-verify:", err)
+	os.Exit(2)
+}

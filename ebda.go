@@ -1,0 +1,210 @@
+// Package ebda reproduces "EbDa: A New Theory on Design and Verification
+// of Deadlock-free Interconnection Networks" (Ebrahimi & Daneshtalab,
+// ISCA 2017) as a practical Go library.
+//
+// The theory: divide a network's channels (physical or virtual, in any
+// dimension) into partitions that each contain at most one complete
+// D-pair (Theorem 1); inside a partition channels may be used arbitrarily
+// and repeatedly, with U-/I-turns ordered ascending (Theorem 2); packets
+// may move between disjoint partitions in ascending chain order
+// (Theorem 3). Every design built this way has an acyclic channel
+// dependency graph and is therefore deadlock-free under wormhole
+// switching — no escape channels, no per-buffer packet limits.
+//
+// # Quick start
+//
+//	// Design: the six-channel fully adaptive 2D network of Figure 7(b).
+//	chain := ebda.MustParseChain("PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]")
+//
+//	// Extract every turn Theorems 1-3 admit.
+//	turns := chain.AllTurns()
+//
+//	// Verify mechanically on a concrete 8x8 mesh (Dally's condition).
+//	report := ebda.VerifyChain(ebda.NewMesh(8, 8), chain)
+//	fmt.Println(report.Acyclic) // true
+//
+//	// Turn the design into a routing algorithm and simulate it.
+//	alg := ebda.NewAlgorithm("dyxy", chain, 2)
+//	result := ebda.Simulate(ebda.SimConfig{
+//		Net: ebda.NewMesh(8, 8), Alg: alg, VCs: alg.VCs(),
+//		InjectionRate: 0.2,
+//	})
+//
+// The facade re-exports the library's building blocks; the full API lives
+// in the internal packages it fronts:
+//
+//   - channel model and partition theory (internal/channel, internal/core)
+//   - Section-5 partitioning methodology (internal/partstrat)
+//   - topologies and channel-dependency-graph verification
+//     (internal/topology, internal/cdg)
+//   - routing algorithms and baselines (internal/routing, internal/duato)
+//   - the wormhole simulator and traffic patterns (internal/sim,
+//     internal/traffic)
+//   - every table and figure of the paper (internal/paper)
+package ebda
+
+import (
+	"ebda/internal/cdg"
+	"ebda/internal/channel"
+	"ebda/internal/core"
+	"ebda/internal/deadlock"
+	"ebda/internal/partstrat"
+	"ebda/internal/routing"
+	"ebda/internal/sim"
+	"ebda/internal/topology"
+	"ebda/internal/traffic"
+	"ebda/internal/viz"
+)
+
+// Core channel-model types.
+type (
+	// Dim is a network dimension (X, Y, Z, T, ...).
+	Dim = channel.Dim
+	// Sign is a direction along a dimension.
+	Sign = channel.Sign
+	// Class identifies an abstract channel family such as X1+ or Ye-.
+	Class = channel.Class
+	// Parity restricts a class to even or odd coordinates.
+	Parity = channel.Parity
+)
+
+// Theory types.
+type (
+	// Partition is a set of channels usable arbitrarily and repeatedly.
+	Partition = core.Partition
+	// Chain is an ordered sequence of disjoint cycle-free partitions; a
+	// validated chain is a deadlock-free design.
+	Chain = core.Chain
+	// TurnSet is the set of permitted channel-to-channel transitions.
+	TurnSet = core.TurnSet
+	// Turn is one permitted transition.
+	Turn = core.Turn
+	// TurnOptions selects which theorems contribute turns.
+	TurnOptions = core.TurnOptions
+)
+
+// Substrate types.
+type (
+	// Network is an n-dimensional mesh, torus or irregular grid.
+	Network = topology.Network
+	// NodeID identifies a network node.
+	NodeID = topology.NodeID
+	// Coord is a node position.
+	Coord = topology.Coord
+	// VerifyReport is the result of a dependency-graph check.
+	VerifyReport = cdg.Report
+	// Algorithm is an executable routing function.
+	Algorithm = routing.Algorithm
+	// SimConfig parameterises a wormhole simulation.
+	SimConfig = sim.Config
+	// SimResult is a simulation outcome.
+	SimResult = sim.Result
+	// TrafficPattern picks packet destinations for the simulator.
+	TrafficPattern = traffic.Pattern
+)
+
+// Directions.
+const (
+	X = channel.X
+	Y = channel.Y
+	Z = channel.Z
+	T = channel.T
+
+	Plus  = channel.Plus
+	Minus = channel.Minus
+)
+
+// ParseClass parses a channel class in the paper's notation ("X+",
+// "Y2-", "Ye+").
+func ParseClass(s string) (Class, error) { return channel.Parse(s) }
+
+// MustParseClass is ParseClass that panics on error.
+func MustParseClass(s string) Class { return channel.MustParse(s) }
+
+// NewPartition builds a named partition from channel classes; the channel
+// order fixes the Theorem-2 ascending numbering.
+func NewPartition(name string, classes ...Class) (*Partition, error) {
+	return core.NewPartition(name, classes...)
+}
+
+// ParseChain parses the paper's arrow notation,
+// e.g. "PA[X+ X- Y-] -> PB[Y+]" (with "Z1*" expanding to "Z1+ Z1-"), and
+// validates Theorems 1 and 3 on the result.
+func ParseChain(s string) (*Chain, error) { return core.ParseChain(s) }
+
+// MustParseChain is ParseChain that panics on error.
+func MustParseChain(s string) *Chain { return core.MustParseChain(s) }
+
+// NewChain builds and validates a chain from partitions in transition
+// order.
+func NewChain(parts ...*Partition) (*Chain, error) { return core.NewChain(parts...) }
+
+// MinChannelsFullyAdaptive returns (n+1) * 2^(n-1), the paper's minimum
+// channel count for fully adaptive routing in n dimensions (Section 4).
+func MinChannelsFullyAdaptive(n int) int { return core.MinChannelsFullyAdaptive(n) }
+
+// DesignFullyAdaptive constructs the minimum-channel fully adaptive design
+// for an n-dimensional mesh: 2^(n-1) partitions of n+1 channels each
+// (Section 4; DyXY for n = 2, Figure 9(b) for n = 3).
+func DesignFullyAdaptive(n int) (*Chain, error) { return partstrat.MinFullyAdaptiveChain(n) }
+
+// NewMesh returns an n-dimensional mesh with the given per-dimension
+// sizes.
+func NewMesh(sizes ...int) *Network { return topology.NewMesh(sizes...) }
+
+// NewTorus returns a k-ary n-cube.
+func NewTorus(sizes ...int) *Network { return topology.NewTorus(sizes...) }
+
+// NewPartialMesh3D returns a vertically partially connected 3D network
+// with the given elevator columns.
+func NewPartialMesh3D(x, y, z int, elevators [][2]int) *Network {
+	return topology.NewPartialMesh3D(x, y, z, elevators)
+}
+
+// VerifyChain extracts the chain's full turn set (Theorems 1-3) and checks
+// the induced channel dependency graph on the network for cycles.
+func VerifyChain(net *Network, chain *Chain) VerifyReport { return cdg.VerifyChain(net, chain) }
+
+// VerifyTurnSet checks an arbitrary turn relation on a network; vcs gives
+// per-dimension VC counts (nil for one each).
+func VerifyTurnSet(net *Network, vcs []int, ts *TurnSet) VerifyReport {
+	return cdg.VerifyTurnSet(net, cdg.VCConfig(vcs), ts)
+}
+
+// VerifyAlgorithm extracts the full routing relation of an algorithm over
+// all destinations and checks it for cycles (the classic Dally
+// verification).
+func VerifyAlgorithm(net *Network, vcs []int, alg Algorithm) VerifyReport {
+	return routing.Verify(net, cdg.VCConfig(vcs), alg)
+}
+
+// Adaptiveness measures the fraction of minimal paths a turn relation
+// makes usable across all node pairs; FullyAdaptive() on the report is the
+// paper's full-adaptiveness property.
+func Adaptiveness(net *Network, vcs []int, ts *TurnSet) (cdg.AdaptivenessReport, error) {
+	return cdg.Adaptiveness(net, cdg.VCConfig(vcs), ts)
+}
+
+// NewAlgorithm derives an executable routing algorithm from a chain for a
+// network with the given dimension count. The algorithm offers every
+// productive hop the turn relation permits and never strands a packet.
+func NewAlgorithm(name string, chain *Chain, dims int) *routing.FromChain {
+	return routing.NewFromChain(name, chain, dims)
+}
+
+// Simulate runs the wormhole simulator with the given configuration.
+func Simulate(cfg SimConfig) SimResult { return sim.New(cfg).Run() }
+
+// FindDeadlockConfiguration runs the knot analysis on an algorithm: it
+// returns a concrete potential-deadlock configuration (a circular wait in
+// which every occupant's full request set is occupied), or an empty result
+// when none exists — the analysis that separates escape-protected cyclic
+// designs (Duato-style) from deadlock-capable ones. EbDa chains, having
+// acyclic relations, always come back empty.
+func FindDeadlockConfiguration(net *Network, vcs []int, alg Algorithm) *deadlock.Configuration {
+	return deadlock.Find(net, cdg.VCConfig(vcs), alg)
+}
+
+// TurnDiagramSVG renders a 2D design's turn set as an SVG turn diagram in
+// the style of the paper's figures.
+func TurnDiagramSVG(ts *TurnSet) (string, error) { return viz.TurnDiagram(ts) }

@@ -1,0 +1,108 @@
+package ebda_test
+
+import (
+	"strings"
+	"testing"
+
+	"ebda"
+	"ebda/internal/experiments"
+)
+
+// TestFacadeQuickstart exercises the public facade end to end, mirroring
+// the package example.
+func TestFacadeQuickstart(t *testing.T) {
+	chain, err := ebda.ParseChain("PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	turns := chain.AllTurns()
+	n90, _, _ := turns.Counts()
+	if n90 != 12 {
+		t.Errorf("90-degree turns = %d, want 12", n90)
+	}
+	mesh := ebda.NewMesh(6, 6)
+	rep := ebda.VerifyChain(mesh, chain)
+	if !rep.Acyclic {
+		t.Fatalf("verification failed: %s", rep)
+	}
+	ad, err := ebda.Adaptiveness(ebda.NewMesh(4, 4), []int{1, 2}, turns)
+	if err != nil || !ad.FullyAdaptive() {
+		t.Errorf("adaptiveness: %v %v", ad, err)
+	}
+	alg := ebda.NewAlgorithm("dyxy", chain, 2)
+	res := ebda.Simulate(ebda.SimConfig{
+		Net: mesh, Alg: alg, VCs: alg.VCs(),
+		InjectionRate: 0.1, Seed: 1,
+		Warmup: 300, Measure: 900, Drain: 900,
+	})
+	if res.Deadlocked || res.DeliveredPackets != res.InjectedPackets {
+		t.Errorf("simulation: %s", res)
+	}
+}
+
+// TestFacadeDesignFullyAdaptive checks the constructive design helper.
+func TestFacadeDesignFullyAdaptive(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		chain, err := ebda.DesignFullyAdaptive(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(chain.Channels()); got != ebda.MinChannelsFullyAdaptive(n) {
+			t.Errorf("n=%d: %d channels", n, got)
+		}
+	}
+}
+
+// TestFacadeRejectsBadDesigns checks validation surfaces through the
+// facade.
+func TestFacadeRejectsBadDesigns(t *testing.T) {
+	if _, err := ebda.ParseChain("PA[X+ X- Y+ Y-]"); err == nil {
+		t.Error("Theorem-1 violation accepted")
+	}
+	if _, err := ebda.ParseChain("PA[X+] -> PB[X+]"); err == nil {
+		t.Error("overlapping partitions accepted")
+	}
+}
+
+// TestFacadeDeadlockAndDiagram exercises the analysis and rendering
+// helpers on the facade.
+func TestFacadeDeadlockAndDiagram(t *testing.T) {
+	chain := ebda.MustParseChain("PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]")
+	alg := ebda.NewAlgorithm("dyxy", chain, 2)
+	cfg := ebda.FindDeadlockConfiguration(ebda.NewMesh(4, 4), alg.VCs(), alg)
+	if !cfg.Empty() {
+		t.Errorf("EbDa design should have no deadlock configuration:\n%s", cfg)
+	}
+	svg, err := ebda.TurnDiagramSVG(chain.AllTurns())
+	if err != nil || !strings.Contains(svg, "<svg") {
+		t.Errorf("diagram: %v", err)
+	}
+}
+
+// TestAllExperimentsReproduce runs the complete harness (quick mode) and
+// demands every paper artifact matches.
+func TestAllExperimentsReproduce(t *testing.T) {
+	results := experiments.RunAll(experiments.Options{Quick: true})
+	if len(results) != 23 {
+		t.Fatalf("experiments = %d, want 23", len(results))
+	}
+	for _, r := range results {
+		if !r.Match {
+			t.Errorf("experiment %s did not reproduce:\n%s", r.ID, r)
+		}
+	}
+}
+
+// TestExperimentIDsAreUnique guards the harness index.
+func TestExperimentIDsAreUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range experiments.All() {
+		if seen[r.ID] {
+			t.Errorf("duplicate experiment ID %s", r.ID)
+		}
+		seen[r.ID] = true
+		if !strings.HasPrefix(r.ID, "E") && !strings.HasPrefix(r.ID, "X") {
+			t.Errorf("unexpected ID format %s", r.ID)
+		}
+	}
+}

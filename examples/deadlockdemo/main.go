@@ -1,0 +1,53 @@
+// deadlockdemo: watch a deadlock actually happen. Minimal fully adaptive
+// routing with a single virtual channel and no turn restrictions has a
+// cyclic channel dependency graph; under heavy load with long packets the
+// wormhole network wedges. The same load on EbDa-derived designs (which
+// are acyclic by construction) and on a Duato escape-channel design keeps
+// flowing.
+package main
+
+import (
+	"fmt"
+
+	"ebda"
+	"ebda/internal/duato"
+	"ebda/internal/routing"
+)
+
+func main() {
+	mesh := ebda.NewMesh(4, 4)
+
+	// Static analysis first: the unrestricted relation is cyclic.
+	bad := routing.NewUnrestricted()
+	fmt.Println("static verification (Dally's condition):")
+	fmt.Println("  unrestricted:", ebda.VerifyAlgorithm(mesh, nil, bad))
+
+	dyxy := ebda.NewAlgorithm("ebda-6ch", ebda.MustParseChain("PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]"), 2)
+	fmt.Println("  ebda-6ch:    ", ebda.VerifyAlgorithm(mesh, dyxy.VCs(), dyxy))
+
+	// Now dynamics: stress all three at the same aggressive operating
+	// point — 0.6 flits/node/cycle offered, 8-flit packets, 2-flit
+	// buffers.
+	stress := func(alg ebda.Algorithm, vcs []int) ebda.SimResult {
+		return ebda.Simulate(ebda.SimConfig{
+			Net: mesh, Alg: alg, VCs: vcs,
+			InjectionRate: 0.6, PacketLen: 8, BufferDepth: 2,
+			Seed: 7, Warmup: 2000, Measure: 6000, Drain: 2000,
+			DeadlockThreshold: 500,
+		})
+	}
+
+	du := duato.New()
+	fmt.Println("\nstress simulation (0.6 flits/node/cycle, 8-flit packets, 2-flit buffers):")
+	badRes := stress(bad, nil)
+	fmt.Println("  unrestricted:", badRes)
+	if badRes.Deadlocked {
+		fmt.Println("  diagnosed " + badRes.DeadlockTrace)
+	}
+	fmt.Println("  ebda-6ch:    ", stress(dyxy, dyxy.VCs()))
+	fmt.Println("  duato:       ", stress(du, du.VCsPerDim(mesh)))
+
+	fmt.Println("\nThe unrestricted design wedges (the watchdog reports stuck flits);")
+	fmt.Println("the EbDa design needs no escape channels and the Duato design needs")
+	fmt.Println("its escape VC — both stay live.")
+}

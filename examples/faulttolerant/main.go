@@ -1,0 +1,56 @@
+// faulttolerant: reroute around broken links using the U- and I-turns
+// Theorem 2 admits (the paper's stated motivation for them). Because the
+// EbDa turn relation is acyclic, misrouting inherits two guarantees for
+// free: no deadlock (the detour turns are a subset of the verified
+// relation) and no livelock (every hop advances in the dependency graph's
+// topological order, so walks are bounded by the channel count).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ebda"
+	"ebda/internal/channel"
+	"ebda/internal/routing"
+	"ebda/internal/topology"
+)
+
+func main() {
+	chain := ebda.MustParseChain("PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]")
+	base := ebda.NewMesh(6, 6)
+
+	// Break two links in the middle of the mesh.
+	faults := []topology.Link{
+		{From: base.ID(ebda.Coord{2, 3}), Dim: channel.X, Sign: channel.Plus},
+		{From: base.ID(ebda.Coord{3, 2}), Dim: channel.Y, Sign: channel.Plus},
+	}
+	faulty := base.WithoutLinks(faults)
+	fmt.Println("network:", faulty, "with faults E@(2,3) and N@(3,2)")
+
+	// Strict minimal routing strands straight-line routes across the
+	// faults...
+	minimal := ebda.NewAlgorithm("dyxy-minimal", chain, 2)
+	del := routing.CheckDelivery(faulty, minimal, 64)
+	fmt.Println("minimal-only routing:   ", del)
+
+	// ...the fault-tolerant variant detours through permitted turns.
+	ft := routing.NewFaultTolerant("dyxy-ft", chain, faulty)
+	del = routing.CheckDelivery(faulty, ft, 128)
+	fmt.Println("fault-tolerant routing: ", del)
+	if !del.OK() {
+		log.Fatal("fault-tolerant routing failed")
+	}
+
+	// The rerouting relation remains acyclic — deadlock-free by
+	// construction, even with the detour turns in play.
+	rep := ebda.VerifyAlgorithm(faulty, ft.VCs(), ft)
+	fmt.Println("relation check:         ", rep)
+
+	// And it holds up in the wormhole simulator under load.
+	res := ebda.Simulate(ebda.SimConfig{
+		Net: faulty, Alg: ft, VCs: ft.VCs(),
+		InjectionRate: 0.15, Seed: 3,
+	})
+	fmt.Println("simulation:             ", res)
+}

@@ -1,0 +1,3 @@
+module ebda
+
+go 1.22

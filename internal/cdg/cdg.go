@@ -1,0 +1,496 @@
+// Package cdg builds concrete channel dependency graphs and checks them for
+// cycles — Dally's necessary-and-sufficient condition for deadlock freedom
+// that the EbDa theory constructs designs against.
+//
+// A concrete channel is one unidirectional physical link of a topology
+// paired with a virtual-channel number. Given a turn set extracted from an
+// EbDa partition chain (or any other turn relation), the graph contains a
+// dependency edge from channel a (into node v) to channel b (out of node v)
+// whenever the relation permits the transition between their channel
+// classes. The EbDa theorems claim every chain-derived relation yields an
+// acyclic graph; this package verifies that claim mechanically, and exposes
+// the same machinery for adversarial designs that should contain cycles.
+package cdg
+
+import (
+	"fmt"
+	"strings"
+
+	"ebda/internal/channel"
+	"ebda/internal/core"
+	"ebda/internal/topology"
+)
+
+// VCConfig gives the number of virtual channels per dimension. A nil or
+// short config defaults missing dimensions to 1.
+type VCConfig []int
+
+// VCs returns the VC count for a dimension (at least 1).
+func (v VCConfig) VCs(d channel.Dim) int {
+	if int(d) < len(v) && v[d] > 0 {
+		return v[d]
+	}
+	return 1
+}
+
+// Uniform returns a VCConfig with the same VC count in every one of n
+// dimensions.
+func Uniform(n, vcs int) VCConfig {
+	cfg := make(VCConfig, n)
+	for i := range cfg {
+		cfg[i] = vcs
+	}
+	return cfg
+}
+
+// VCConfigFor derives the VC configuration implied by a set of channel
+// classes: each dimension gets as many VCs as the largest VC number
+// mentioned for it.
+func VCConfigFor(nDims int, classes []channel.Class) VCConfig {
+	cfg := make(VCConfig, nDims)
+	for i := range cfg {
+		cfg[i] = 1
+	}
+	for _, c := range classes {
+		if int(c.Dim) < nDims && c.VC > cfg[c.Dim] {
+			cfg[c.Dim] = c.VC
+		}
+	}
+	return cfg
+}
+
+// Channel is one concrete channel: a physical link plus a VC number.
+type Channel struct {
+	Link topology.Link
+	VC   int
+	// Index is the channel's dense index within its Graph.
+	Index int
+}
+
+// Class returns the channel's intrinsic class (dimension, sign, VC; no
+// parity restriction).
+func (c Channel) Class() channel.Class {
+	return channel.NewVC(c.Link.Dim, c.Link.Sign, c.VC)
+}
+
+// String renders the channel as "(0,1)->(1,1) X1+".
+func (c Channel) String() string {
+	return fmt.Sprintf("n%d->n%d %s", c.Link.From, c.Link.To, c.Class())
+}
+
+// Graph is a channel dependency graph over a concrete network.
+type Graph struct {
+	net      *topology.Network
+	vcs      VCConfig
+	channels []Channel
+	// byHead[v] lists indices of channels whose Link.To == v.
+	byHead [][]int32
+	// byTail[v] lists indices of channels whose Link.From == v.
+	byTail [][]int32
+	adj    [][]int32
+	edges  int
+}
+
+// NewGraph enumerates the concrete channels of the network under the VC
+// configuration; the graph starts with no dependency edges.
+func NewGraph(net *topology.Network, vcs VCConfig) *Graph {
+	g := &Graph{
+		net:    net,
+		vcs:    vcs,
+		byHead: make([][]int32, net.Nodes()),
+		byTail: make([][]int32, net.Nodes()),
+	}
+	for _, link := range net.Links() {
+		for vc := 1; vc <= vcs.VCs(link.Dim); vc++ {
+			idx := len(g.channels)
+			g.channels = append(g.channels, Channel{Link: link, VC: vc, Index: idx})
+			g.byHead[link.To] = append(g.byHead[link.To], int32(idx))
+			g.byTail[link.From] = append(g.byTail[link.From], int32(idx))
+		}
+	}
+	g.adj = make([][]int32, len(g.channels))
+	return g
+}
+
+// Net returns the underlying network.
+func (g *Graph) Net() *topology.Network { return g.net }
+
+// VCs returns the VC configuration.
+func (g *Graph) VCs() VCConfig { return g.vcs }
+
+// Channels returns all concrete channels. The slice must not be modified.
+func (g *Graph) Channels() []Channel { return g.channels }
+
+// NumChannels returns the number of concrete channels.
+func (g *Graph) NumChannels() int { return len(g.channels) }
+
+// NumEdges returns the number of dependency edges added so far.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Into returns the channels whose head is node v.
+func (g *Graph) Into(v topology.NodeID) []int32 { return g.byHead[v] }
+
+// OutOf returns the channels whose tail is node v.
+func (g *Graph) OutOf(v topology.NodeID) []int32 { return g.byTail[v] }
+
+// AddEdge adds a dependency edge between two channel indices.
+func (g *Graph) AddEdge(from, to int) {
+	g.adj[from] = append(g.adj[from], int32(to))
+	g.edges++
+}
+
+// Succs returns the dependency successors of a channel index. The slice
+// must not be modified.
+func (g *Graph) Succs(i int) []int32 { return g.adj[i] }
+
+// HasEdge reports whether the dependency edge from one channel index to
+// another exists.
+func (g *Graph) HasEdge(from, to int) bool {
+	for _, s := range g.adj[from] {
+		if s == int32(to) {
+			return true
+		}
+	}
+	return false
+}
+
+// FindChannel locates the concrete channel leaving a node in the given
+// direction on the given VC.
+func (g *Graph) FindChannel(from topology.NodeID, d channel.Dim, sign channel.Sign, vc int) (Channel, bool) {
+	for _, i := range g.byTail[from] {
+		ch := g.channels[i]
+		if ch.Link.Dim == d && ch.Link.Sign == sign && ch.VC == vc {
+			return ch, true
+		}
+	}
+	return Channel{}, false
+}
+
+// matchClasses returns, for a concrete channel, which of the given abstract
+// classes it instantiates. Parity restrictions are evaluated against the
+// channel's tail-node coordinate in the class's parity dimension (a channel
+// does not move in dimensions other than its own, so head and tail agree
+// there except on its own-dimension wraparound, which parity classes may
+// not reference).
+func (g *Graph) matchClasses(ch Channel, classes []channel.Class) []channel.Class {
+	var out []channel.Class
+	coord := g.net.Coord(ch.Link.From)
+	for _, cls := range classes {
+		if cls.Dim != ch.Link.Dim || cls.Sign != ch.Link.Sign || cls.VC != ch.VC {
+			continue
+		}
+		if cls.Par != channel.Any && !cls.Par.Matches(coord[cls.PDim]) {
+			continue
+		}
+		out = append(out, cls)
+	}
+	return out
+}
+
+// AddTurnEdges adds a dependency edge for every pair of concrete channels
+// (a into v, b out of v) whose classes are related by the turn set. It
+// returns the number of edges added.
+func (g *Graph) AddTurnEdges(ts *core.TurnSet) int {
+	classes := ts.Classes()
+	// Precompute class matches per channel.
+	matched := make([][]channel.Class, len(g.channels))
+	for i, ch := range g.channels {
+		matched[i] = g.matchClasses(ch, classes)
+	}
+	added := 0
+	for v := topology.NodeID(0); int(v) < g.net.Nodes(); v++ {
+		for _, ai := range g.byHead[v] {
+			for _, bi := range g.byTail[v] {
+				if g.allowed(matched[ai], matched[bi], ts) {
+					g.AddEdge(int(ai), int(bi))
+					added++
+				}
+			}
+		}
+	}
+	return added
+}
+
+func (g *Graph) allowed(from, to []channel.Class, ts *core.TurnSet) bool {
+	for _, a := range from {
+		for _, b := range to {
+			if ts.Allows(a, b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RoutingRelation describes a routing function for dependency extraction:
+// given the node a packet is at, the concrete channel it arrived on (nil at
+// injection) and its destination, it returns the indices of the concrete
+// channels the packet may take next.
+type RoutingRelation func(g *Graph, at topology.NodeID, in *Channel, dst topology.NodeID) []int
+
+// AddRoutingEdges adds a dependency edge a->b whenever some destination
+// exists for which a packet that can actually occupy channel a (reachable
+// from some injection under the routing function) may request channel b.
+// This is the classic Dally construction: for each destination a forward
+// closure is computed from the injection candidates of every source, and
+// only transitions of reachable packet states become dependencies.
+func (g *Graph) AddRoutingEdges(route RoutingRelation) int {
+	added := 0
+	type edge struct{ a, b int32 }
+	seen := make(map[edge]bool)
+	usable := make([]bool, len(g.channels))
+	var queue []int32
+	for dst := topology.NodeID(0); int(dst) < g.net.Nodes(); dst++ {
+		for i := range usable {
+			usable[i] = false
+		}
+		queue = queue[:0]
+		// Injection states: the candidates offered to freshly injected
+		// packets at every source.
+		for src := topology.NodeID(0); int(src) < g.net.Nodes(); src++ {
+			if src == dst {
+				continue
+			}
+			for _, bi := range route(g, src, nil, dst) {
+				if !usable[bi] {
+					usable[bi] = true
+					queue = append(queue, int32(bi))
+				}
+			}
+		}
+		// Forward closure.
+		for len(queue) > 0 {
+			ai := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			ch := g.channels[ai]
+			at := ch.Link.To
+			if at == dst {
+				continue
+			}
+			for _, bi := range route(g, at, &ch, dst) {
+				e := edge{ai, int32(bi)}
+				if !seen[e] {
+					seen[e] = true
+					g.AddEdge(int(ai), bi)
+					added++
+				}
+				if !usable[bi] {
+					usable[bi] = true
+					queue = append(queue, int32(bi))
+				}
+			}
+		}
+	}
+	return added
+}
+
+// BuildFromTurnSet constructs the dependency graph induced by a turn set on
+// a network.
+func BuildFromTurnSet(net *topology.Network, vcs VCConfig, ts *core.TurnSet) *Graph {
+	g := NewGraph(net, vcs)
+	g.AddTurnEdges(ts)
+	return g
+}
+
+// Acyclic reports whether the dependency graph has no cycles.
+func (g *Graph) Acyclic() bool { return g.FindCycle() == nil }
+
+// FindCycle returns one dependency cycle as a channel sequence (the last
+// element depends on the first), or nil if the graph is acyclic. It uses an
+// iterative three-colour DFS, so it scales to large networks without
+// recursion-depth limits.
+func (g *Graph) FindCycle() []Channel {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]uint8, len(g.channels))
+	parent := make([]int32, len(g.channels))
+	for i := range parent {
+		parent[i] = -1
+	}
+	type frame struct {
+		node int32
+		next int
+	}
+	for start := range g.channels {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{node: int32(start)}}
+		color[start] = grey
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(g.adj[f.node]) {
+				succ := g.adj[f.node][f.next]
+				f.next++
+				switch color[succ] {
+				case white:
+					color[succ] = grey
+					parent[succ] = f.node
+					stack = append(stack, frame{node: succ})
+				case grey:
+					// Found a cycle: walk parents from f.node back
+					// to succ.
+					var cyc []Channel
+					for v := f.node; ; v = parent[v] {
+						cyc = append(cyc, g.channels[v])
+						if v == succ {
+							break
+						}
+					}
+					// Reverse into dependency order.
+					for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+						cyc[i], cyc[j] = cyc[j], cyc[i]
+					}
+					return cyc
+				}
+			} else {
+				color[f.node] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// SCCs returns the strongly connected components with more than one channel
+// or with a self-loop — the deadlock-capable cores of the graph. Components
+// are returned as channel index lists. An empty result means acyclic.
+func (g *Graph) SCCs() [][]int {
+	n := len(g.channels)
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var (
+		counter int32
+		stack   []int32
+		out     [][]int
+	)
+	type frame struct {
+		v    int32
+		next int
+	}
+	selfLoop := func(v int32) bool {
+		for _, w := range g.adj[v] {
+			if w == v {
+				return true
+			}
+		}
+		return false
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		call := []frame{{v: int32(root)}}
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			if f.next == 0 {
+				index[v] = counter
+				low[v] = counter
+				counter++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.next < len(g.adj[v]) {
+				w := g.adj[v][f.next]
+				f.next++
+				if index[w] == -1 {
+					call = append(call, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, int(w))
+					if w == v {
+						break
+					}
+				}
+				if len(comp) > 1 || (len(comp) == 1 && selfLoop(v)) {
+					out = append(out, comp)
+				}
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FormatCycle renders a dependency cycle for diagnostics.
+func FormatCycle(cyc []Channel) string {
+	if len(cyc) == 0 {
+		return "<acyclic>"
+	}
+	parts := make([]string, len(cyc))
+	for i, c := range cyc {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " => ") + " => (repeat)"
+}
+
+// Report summarises a verification run.
+type Report struct {
+	Network  string
+	Channels int
+	Edges    int
+	Acyclic  bool
+	// Cycle holds one example dependency cycle when Acyclic is false.
+	Cycle []Channel
+}
+
+// String renders the report on one line.
+func (r Report) String() string {
+	status := "ACYCLIC (deadlock-free)"
+	if !r.Acyclic {
+		status = "CYCLIC: " + FormatCycle(r.Cycle)
+	}
+	return fmt.Sprintf("%s: %d channels, %d dependencies: %s",
+		r.Network, r.Channels, r.Edges, status)
+}
+
+// VerifyTurnSet builds the dependency graph of a turn set on a network and
+// checks acyclicity.
+func VerifyTurnSet(net *topology.Network, vcs VCConfig, ts *core.TurnSet) Report {
+	g := BuildFromTurnSet(net, vcs, ts)
+	cyc := g.FindCycle()
+	return Report{
+		Network:  net.String(),
+		Channels: g.NumChannels(),
+		Edges:    g.NumEdges(),
+		Acyclic:  cyc == nil,
+		Cycle:    cyc,
+	}
+}
+
+// VerifyChain extracts the full turn set of a chain (Theorems 1-3, U/I
+// turns included) and verifies it on the network, deriving the VC
+// configuration from the chain's channels.
+func VerifyChain(net *topology.Network, chain *core.Chain) Report {
+	vcs := VCConfigFor(net.Dims(), chain.Channels())
+	return VerifyTurnSet(net, vcs, chain.AllTurns())
+}

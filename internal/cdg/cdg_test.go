@@ -1,0 +1,372 @@
+package cdg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ebda/internal/channel"
+	"ebda/internal/core"
+	"ebda/internal/topology"
+)
+
+func xyTurnSet() *core.TurnSet {
+	// XY routing: X before Y — EN, ES, WN, WS only.
+	ts := core.NewTurnSet()
+	e, w := channel.New(channel.X, channel.Plus), channel.New(channel.X, channel.Minus)
+	n, s := channel.New(channel.Y, channel.Plus), channel.New(channel.Y, channel.Minus)
+	for _, from := range []channel.Class{e, w} {
+		for _, to := range []channel.Class{n, s} {
+			ts.Add(from, to, core.ByTheorem3)
+		}
+	}
+	return ts
+}
+
+func allTurnSet() *core.TurnSet {
+	// Every 90-degree turn — deadlock-capable.
+	ts := core.NewTurnSet()
+	dirs := channel.MustParseList("X+ X- Y+ Y-")
+	for _, a := range dirs {
+		for _, b := range dirs {
+			if a.Dim != b.Dim {
+				ts.Add(a, b, core.ByTheorem1)
+			}
+		}
+	}
+	return ts
+}
+
+func TestXYAcyclic(t *testing.T) {
+	rep := VerifyTurnSet(topology.NewMesh(4, 4), nil, xyTurnSet())
+	if !rep.Acyclic {
+		t.Fatalf("XY routing must be acyclic: %s", rep)
+	}
+	if rep.Channels != 48 {
+		t.Errorf("channels = %d, want 48", rep.Channels)
+	}
+}
+
+func TestAllTurnsCyclic(t *testing.T) {
+	rep := VerifyTurnSet(topology.NewMesh(3, 3), nil, allTurnSet())
+	if rep.Acyclic {
+		t.Fatal("unrestricted 2D turns must form cycles")
+	}
+	if len(rep.Cycle) < 4 {
+		t.Errorf("cycle too short: %v", rep.Cycle)
+	}
+	// The reported cycle must be a genuine dependency cycle: consecutive
+	// channels meet head-to-tail.
+	for i, c := range rep.Cycle {
+		next := rep.Cycle[(i+1)%len(rep.Cycle)]
+		if c.Link.To != next.Link.From {
+			t.Errorf("cycle edge %d does not connect: %v -> %v", i, c, next)
+		}
+	}
+}
+
+func TestSCCsMatchCycleDetection(t *testing.T) {
+	gCyclic := BuildFromTurnSet(topology.NewMesh(3, 3), nil, allTurnSet())
+	if len(gCyclic.SCCs()) == 0 {
+		t.Error("cyclic graph should report SCCs")
+	}
+	gAcyclic := BuildFromTurnSet(topology.NewMesh(3, 3), nil, xyTurnSet())
+	if len(gAcyclic.SCCs()) != 0 {
+		t.Error("acyclic graph should report no SCCs")
+	}
+}
+
+func TestVerifyChainNorthLast(t *testing.T) {
+	chain := core.MustParseChain("PA[X+ X- Y-] -> PB[Y+]")
+	rep := VerifyChain(topology.NewMesh(5, 5), chain)
+	if !rep.Acyclic {
+		t.Fatalf("north-last chain must verify acyclic: %s", rep)
+	}
+}
+
+func TestVerifyChainWithUTurns(t *testing.T) {
+	// The full turn set including Theorem-2/3 U- and I-turns must remain
+	// acyclic — the paper's central claim.
+	for _, spec := range []string{
+		"PA[X+ X- Y-] -> PB[Y+]",
+		"PA[X- Y-] -> PB[X+ Y+]",
+		"PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]",
+		"PA[X+] -> PB[X-] -> PC[Y+] -> PD[Y-]",
+	} {
+		chain := core.MustParseChain(spec)
+		rep := VerifyChain(topology.NewMesh(4, 4), chain)
+		if !rep.Acyclic {
+			t.Errorf("%s: %s", spec, rep)
+		}
+	}
+}
+
+func TestTwoCompletePairsCycle(t *testing.T) {
+	// A Theorem-1-violating partition (both pairs complete) must produce
+	// a cycle once its turns are laid on a mesh. Build the turn set
+	// manually since NewChain would reject the partition.
+	ts := core.NewTurnSet()
+	dirs := channel.MustParseList("X1+ X2- Y1+ Y2-")
+	for _, a := range dirs {
+		for _, b := range dirs {
+			if a.Dim != b.Dim {
+				ts.Add(a, b, core.ByTheorem1)
+			}
+		}
+	}
+	rep := VerifyTurnSet(topology.NewMesh(3, 3), VCConfig{2, 2}, ts)
+	if rep.Acyclic {
+		t.Fatal("two complete pairs must form a cycle (note to Theorem 1)")
+	}
+}
+
+func TestVCConfig(t *testing.T) {
+	var nilCfg VCConfig
+	if nilCfg.VCs(channel.X) != 1 {
+		t.Error("nil config should default to 1")
+	}
+	cfg := Uniform(3, 2)
+	if cfg.VCs(channel.Z) != 2 || cfg.VCs(channel.Dim(5)) != 1 {
+		t.Error("Uniform/overflow broken")
+	}
+	derived := VCConfigFor(3, channel.MustParseList("X2+ Y1- Z4+"))
+	if derived[0] != 2 || derived[1] != 1 || derived[2] != 4 {
+		t.Errorf("VCConfigFor = %v", derived)
+	}
+}
+
+func TestChannelCount(t *testing.T) {
+	g := NewGraph(topology.NewMesh(3, 3), VCConfig{2, 1})
+	// 3x3 mesh: 12 X-links and 12 Y-links each direction pair => 24
+	// unidirectional links; X links get 2 VCs.
+	want := 12*2 + 12*1
+	if g.NumChannels() != want {
+		t.Errorf("channels = %d, want %d", g.NumChannels(), want)
+	}
+}
+
+func TestParityMatchingOddEven(t *testing.T) {
+	// Odd-Even Rule 1: EN allowed only at odd columns. With the class
+	// E -> No, the dependency E(into odd-x node) -> N must exist and the
+	// even-column one must not.
+	ts := core.NewTurnSet()
+	e := channel.New(channel.X, channel.Plus)
+	no := channel.NewParity(channel.Y, channel.Plus, channel.X, channel.Odd)
+	ts.Add(e, no, core.ByTheorem1)
+	net := topology.NewMesh(4, 4)
+	g := BuildFromTurnSet(net, nil, ts)
+
+	// E channel into node (1,1): tail (0,1); N channel out of (1,1).
+	eIntoOdd, ok1 := g.FindChannel(net.ID(topology.Coord{0, 1}), channel.X, channel.Plus, 1)
+	nAtOdd, ok2 := g.FindChannel(net.ID(topology.Coord{1, 1}), channel.Y, channel.Plus, 1)
+	if !ok1 || !ok2 {
+		t.Fatal("channels not found")
+	}
+	if !g.HasEdge(eIntoOdd.Index, nAtOdd.Index) {
+		t.Error("EN dependency at odd column must exist")
+	}
+	// E channel into node (2,1): tail (1,1); N channel out of (2,1).
+	eIntoEven, ok3 := g.FindChannel(net.ID(topology.Coord{1, 1}), channel.X, channel.Plus, 1)
+	nAtEven, ok4 := g.FindChannel(net.ID(topology.Coord{2, 1}), channel.Y, channel.Plus, 1)
+	if !ok3 || !ok4 {
+		t.Fatal("channels not found")
+	}
+	if g.HasEdge(eIntoEven.Index, nAtEven.Index) {
+		t.Error("EN dependency at even column must not exist")
+	}
+	// Same-class continuation must exist for declared classes: E -> E.
+	if !g.HasEdge(eIntoOdd.Index, eIntoEven.Index) {
+		t.Error("E continuation dependency must exist")
+	}
+}
+
+func TestConnectivityXY(t *testing.T) {
+	rep := Connectivity(topology.NewMesh(4, 4), nil, xyTurnSet(), true)
+	if !rep.Connected() {
+		t.Fatalf("XY must connect all pairs: %s", rep)
+	}
+	if rep.Pairs != 16*15 {
+		t.Errorf("pairs = %d", rep.Pairs)
+	}
+}
+
+func TestConnectivityDetectsGaps(t *testing.T) {
+	// Only EN allowed: many pairs unreachable.
+	ts := core.NewTurnSet()
+	ts.Add(channel.New(channel.X, channel.Plus), channel.New(channel.Y, channel.Plus), core.ByTheorem1)
+	rep := Connectivity(topology.NewMesh(3, 3), nil, ts, true)
+	if rep.Connected() {
+		t.Fatal("EN-only turn set cannot be fully connected")
+	}
+}
+
+func TestAdaptivenessXYDeterministic(t *testing.T) {
+	rep, err := Adaptiveness(topology.NewMesh(4, 4), nil, xyTurnSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// XY uses exactly one minimal path per pair.
+	if rep.UsableSum != rep.Pairs {
+		t.Errorf("XY usable paths = %d, want %d (one per pair)", rep.UsableSum, rep.Pairs)
+	}
+	if rep.FullyAdaptive() {
+		t.Error("XY must not be fully adaptive")
+	}
+	if rep.BrokenPairs != 0 {
+		t.Errorf("XY broke %d pairs", rep.BrokenPairs)
+	}
+}
+
+func TestAdaptivenessDyXYFull(t *testing.T) {
+	// Figure 7(b): the six-channel design is fully adaptive.
+	chain := core.MustParseChain("PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]")
+	net := topology.NewMesh(4, 4)
+	vcs := VCConfigFor(2, chain.Channels())
+	rep, err := Adaptiveness(net, vcs, chain.AllTurns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FullyAdaptive() {
+		t.Fatalf("DyXY design must be fully adaptive: %s", rep)
+	}
+}
+
+func TestAdaptivenessWestFirstPartial(t *testing.T) {
+	chain := core.MustParseChain("PA[X-] -> PB[X+ Y+ Y-]")
+	rep, err := Adaptiveness(topology.NewMesh(4, 4), nil, chain.AllTurns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FullyAdaptive() {
+		t.Error("west-first must not be fully adaptive")
+	}
+	if rep.BrokenPairs != 0 {
+		t.Errorf("west-first broke %d pairs", rep.BrokenPairs)
+	}
+	if rep.Degree() <= 0.5 {
+		t.Errorf("west-first adaptiveness %.3f suspiciously low", rep.Degree())
+	}
+}
+
+func TestUsableMinimalPathsExact(t *testing.T) {
+	// West-first on a straight-east route: 1 path, usable.
+	chain := core.MustParseChain("PA[X-] -> PB[X+ Y+ Y-]")
+	net := topology.NewMesh(4, 4)
+	ts := chain.AllTurns()
+	src, dst := net.ID(topology.Coord{0, 0}), net.ID(topology.Coord{3, 0})
+	usable, total, err := UsableMinimalPaths(net, nil, ts, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usable != 1 || total != 1 {
+		t.Errorf("straight east: %d/%d", usable, total)
+	}
+	// North-east region is fully adaptive under west-first.
+	dst = net.ID(topology.Coord{2, 2})
+	usable, total, err = UsableMinimalPaths(net, nil, ts, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 6 || usable != 6 {
+		t.Errorf("NE region: %d/%d, want 6/6", usable, total)
+	}
+	// South-west region is deterministic (west first, then south... the
+	// WS turn allows south after west only): exactly 1 usable path.
+	src = net.ID(topology.Coord{3, 3})
+	dst = net.ID(topology.Coord{1, 1})
+	usable, total, err = UsableMinimalPaths(net, nil, ts, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 6 || usable != 1 {
+		t.Errorf("SW region: %d/%d, want 1/6", usable, total)
+	}
+}
+
+func TestQuickRandomChainsVerifyAcyclic(t *testing.T) {
+	// The heart of the reproduction: ANY valid chain built from random
+	// disjoint Theorem-1 partitions must induce an acyclic CDG with all
+	// of Theorems 1-3 applied.
+	net := topology.NewMesh(3, 3)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		chain := randomChain(r, 2, 2)
+		if chain == nil {
+			return true
+		}
+		vcs := VCConfigFor(2, chain.Channels())
+		rep := VerifyTurnSet(net, vcs, chain.AllTurns())
+		return rep.Acyclic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRandomChains3D(t *testing.T) {
+	net := topology.NewMesh(3, 3, 2)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		chain := randomChain(r, 3, 2)
+		if chain == nil {
+			return true
+		}
+		vcs := VCConfigFor(3, chain.Channels())
+		rep := VerifyTurnSet(net, vcs, chain.AllTurns())
+		return rep.Acyclic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomChain greedily assigns a random subset of the (dim, sign, vc)
+// channel space to random partitions, keeping each partition Theorem-1
+// valid; returns nil when the draw produces no valid non-empty chain.
+func randomChain(r *rand.Rand, dims, maxVC int) *core.Chain {
+	var pool []channel.Class
+	for d := 0; d < dims; d++ {
+		for vc := 1; vc <= maxVC; vc++ {
+			for _, s := range []channel.Sign{channel.Plus, channel.Minus} {
+				if r.Intn(3) > 0 { // keep ~2/3 of channels
+					pool = append(pool, channel.NewVC(channel.Dim(d), s, vc))
+				}
+			}
+		}
+	}
+	r.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	numParts := 1 + r.Intn(4)
+	buckets := make([][]channel.Class, numParts)
+	for _, c := range pool {
+		// Try buckets in random order; place c in the first one that
+		// stays Theorem-1 valid.
+		order := r.Perm(numParts)
+		for _, b := range order {
+			trial := append(append([]channel.Class(nil), buckets[b]...), c)
+			p, err := core.NewPartition("T", trial...)
+			if err == nil && p.CycleFree() {
+				buckets[b] = trial
+				break
+			}
+		}
+	}
+	var parts []*core.Partition
+	for i, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		p, err := core.NewPartition("P"+string(rune('A'+i)), b...)
+		if err != nil {
+			return nil
+		}
+		parts = append(parts, p)
+	}
+	if len(parts) == 0 {
+		return nil
+	}
+	chain, err := core.NewChain(parts...)
+	if err != nil {
+		return nil
+	}
+	return chain
+}

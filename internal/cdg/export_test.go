@@ -1,0 +1,148 @@
+package cdg
+
+import (
+	"strings"
+	"testing"
+
+	"ebda/internal/core"
+	"ebda/internal/topology"
+)
+
+func TestTopoOrderWitness(t *testing.T) {
+	chain := core.MustParseChain("PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]")
+	g := BuildFromTurnSet(topology.NewMesh(4, 4), VCConfigFor(2, chain.Channels()), chain.AllTurns())
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != g.NumChannels() {
+		t.Fatalf("order covers %d of %d channels", len(order), g.NumChannels())
+	}
+	// Every dependency must go forward in the ordering.
+	pos := make(map[int]int, len(order))
+	for i, ch := range order {
+		pos[ch.Index] = i
+	}
+	for i := range g.Channels() {
+		for _, s := range g.Succs(i) {
+			if pos[i] >= pos[int(s)] {
+				t.Fatalf("dependency %d -> %d violates the witness ordering", i, s)
+			}
+		}
+	}
+}
+
+func TestTopoOrderFailsOnCycles(t *testing.T) {
+	g := BuildFromTurnSet(topology.NewMesh(3, 3), nil, allTurnSet())
+	if _, err := g.TopoOrder(); err == nil {
+		t.Fatal("cyclic graph must not have a topological order")
+	}
+}
+
+func TestRegionAdaptivenessTable5Claim(t *testing.T) {
+	// Section 6.3: with PA[X1+ Y1* Z1+] -> PB[X1- Y2* Z1-], "fully
+	// adaptive routing can be utilized in four regions as NEU, SEU, NWD,
+	// SWD and partially adaptive routing can be used in the other four".
+	// Verified here on a fully connected 3D mesh (the region claim is a
+	// property of the turn set; vertical partial connectivity only
+	// restricts which pairs exist).
+	chain := core.MustParseChain("PA[X1+ Y1* Z1+] -> PB[X1- Y2* Z1-]")
+	net := topology.NewMesh(3, 3, 3)
+	vcs := VCConfigFor(3, chain.Channels())
+	regions, err := RegionAdaptiveness(net, vcs, chain.AllTurns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFull := map[string]bool{
+		"ENU": true, "ESU": true, "WND": true, "WSD": true,
+		"END": false, "ESD": false, "WNU": false, "WSU": false,
+	}
+	for _, r := range regions {
+		want, ok := wantFull[r.Name()]
+		if !ok {
+			t.Fatalf("unexpected region %s", r.Name())
+		}
+		if r.Pairs == 0 {
+			t.Fatalf("region %s has no pairs", r.Name())
+		}
+		if got := r.FullyAdaptive(); got != want {
+			t.Errorf("region %s fully adaptive = %v, want %v (%s)",
+				r.Name(), got, want, r.AdaptivenessReport)
+		}
+		if r.BrokenPairs != 0 {
+			t.Errorf("region %s has %d broken pairs", r.Name(), r.BrokenPairs)
+		}
+	}
+}
+
+func TestRegionAdaptivenessWestFirst(t *testing.T) {
+	chain := core.MustParseChain("PA[X-] -> PB[X+ Y+ Y-]")
+	net := topology.NewMesh(5, 5)
+	regions, err := RegionAdaptiveness(net, nil, chain.AllTurns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFull := map[string]bool{"EN": true, "ES": true, "WN": false, "WS": false}
+	for _, r := range regions {
+		if got := r.FullyAdaptive(); got != wantFull[r.Name()] {
+			t.Errorf("west-first region %s fully adaptive = %v, want %v",
+				r.Name(), got, wantFull[r.Name()])
+		}
+	}
+}
+
+func TestCertificate(t *testing.T) {
+	chain := core.MustParseChain("PA[X+ X- Y-] -> PB[Y+]")
+	g := BuildFromTurnSet(topology.NewMesh(4, 4), nil, chain.AllTurns())
+	cert, err := g.Certificate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckCertificate(cert); err != nil {
+		t.Fatalf("own certificate rejected: %v", err)
+	}
+	// Tampered certificates are rejected.
+	swapped := &Certificate{Order: append([]int(nil), cert.Order...)}
+	swapped.Order[0], swapped.Order[len(swapped.Order)-1] =
+		swapped.Order[len(swapped.Order)-1], swapped.Order[0]
+	if err := g.CheckCertificate(swapped); err == nil {
+		t.Error("tampered certificate accepted")
+	}
+	// Short, repeated and out-of-range certificates are rejected.
+	if err := g.CheckCertificate(&Certificate{Order: cert.Order[:3]}); err == nil {
+		t.Error("short certificate accepted")
+	}
+	dup := append([]int(nil), cert.Order...)
+	dup[1] = dup[0]
+	if err := g.CheckCertificate(&Certificate{Order: dup}); err == nil {
+		t.Error("duplicated certificate accepted")
+	}
+	bad := append([]int(nil), cert.Order...)
+	bad[0] = len(cert.Order) + 5
+	if err := g.CheckCertificate(&Certificate{Order: bad}); err == nil {
+		t.Error("out-of-range certificate accepted")
+	}
+	// Cyclic graphs have no certificate.
+	gc := BuildFromTurnSet(topology.NewMesh(3, 3), nil, allTurnSet())
+	if _, err := gc.Certificate(); err == nil {
+		t.Error("cyclic graph produced a certificate")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	gAcyclic := BuildFromTurnSet(topology.NewMesh(3, 3), nil, xyTurnSet())
+	dot := gAcyclic.DOT("xy")
+	for _, want := range []string{"digraph \"xy\"", "rankdir=LR", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	if strings.Contains(dot, "ffcccc") {
+		t.Error("acyclic graph should have no highlighted SCC nodes")
+	}
+	gCyclic := BuildFromTurnSet(topology.NewMesh(3, 3), nil, allTurnSet())
+	dot = gCyclic.DOT("all")
+	if !strings.Contains(dot, "ffcccc") || !strings.Contains(dot, "color=red") {
+		t.Error("cyclic graph should highlight its SCCs")
+	}
+}

@@ -1,0 +1,30 @@
+package channel
+
+import "testing"
+
+// FuzzParse checks the parser never panics and that everything it accepts
+// round-trips through String.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"X+", "X1+", "Y2-", "Ye+", "Yo2-", "Z4+", "T1-", "D5+",
+		"", "X", "+", "X0+", "Q9-", "Xe", "Yee+", "X99999999999999999+",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := Parse(s)
+		if err != nil {
+			return
+		}
+		if !c.Valid() {
+			t.Fatalf("Parse(%q) returned invalid class %+v", s, c)
+		}
+		back, err := Parse(c.String())
+		if err != nil {
+			t.Fatalf("String(%q) = %q does not re-parse: %v", s, c.String(), err)
+		}
+		if back != c {
+			t.Fatalf("round trip %q: %v != %v", s, back, c)
+		}
+	})
+}

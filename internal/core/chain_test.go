@@ -1,0 +1,251 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"ebda/internal/channel"
+)
+
+func TestParseChain(t *testing.T) {
+	c := MustParseChain("PA[X+ X- Y-] -> PB[Y+]")
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if c.Partitions()[0].Name() != "PA" || c.Partitions()[1].Name() != "PB" {
+		t.Error("names not preserved")
+	}
+	// Unnamed partitions get PA, PB, ...
+	c2 := MustParseChain("X+ Y+ -> X- Y-")
+	if c2.Partitions()[0].Name() != "PA" || c2.Partitions()[1].Name() != "PB" {
+		t.Error("auto names broken")
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	// Overlapping partitions are rejected.
+	_, err := ParseChain("PA[X+ Y+] -> PB[X+ Y-]")
+	if !errors.Is(err, ErrNotDisjoint) {
+		t.Errorf("expected ErrNotDisjoint, got %v", err)
+	}
+	// Theorem-1 violations are rejected.
+	_, err = ParseChain("PA[X+ X- Y+ Y-]")
+	if !errors.Is(err, ErrTheorem1) {
+		t.Errorf("expected ErrTheorem1, got %v", err)
+	}
+	// Empty chains are rejected.
+	if _, err := NewChain(); err == nil {
+		t.Error("empty chain should fail")
+	}
+}
+
+func TestNorthLastTurns(t *testing.T) {
+	// Figure 5: PA{X+ X- Y-} -> PB{Y+} yields the North-Last 90-degree
+	// turns; NE and NW remain prohibited.
+	c := MustParseChain("PA[X+ X- Y-] -> PB[Y+]")
+	ts := c.Turns90()
+	n90, nU, nI := ts.Counts()
+	if n90 != 6 || nU != 0 || nI != 0 {
+		t.Fatalf("counts = %d/%d/%d, want 6/0/0", n90, nU, nI)
+	}
+	got := map[string]bool{}
+	for _, turn := range ts.Turns() {
+		got[turn.PlainString()] = true
+	}
+	for _, want := range strings.Fields("WS SE ES SW EN WN") {
+		if !got[want] {
+			t.Errorf("missing turn %s", want)
+		}
+	}
+	for _, banned := range []string{"NE", "NW"} {
+		if got[banned] {
+			t.Errorf("turn %s must be prohibited (north-last)", banned)
+		}
+	}
+}
+
+func TestTheorem3UTurns(t *testing.T) {
+	// Figure 5(b)/(c): Theorem 2 allows one X U-turn inside PA and
+	// Theorem 3 allows S -> N across the transition; N -> S is impossible.
+	c := MustParseChain("PA[X+ X- Y-] -> PB[Y+]")
+	ts := c.AllTurns()
+	yp, ym := channel.New(channel.Y, channel.Plus), channel.New(channel.Y, channel.Minus)
+	if !ts.Allows(ym, yp) {
+		t.Error("S -> N U-turn via transition should be allowed")
+	}
+	if ts.Allows(yp, ym) {
+		t.Error("N -> S U-turn must be prohibited (no PB -> PA transition)")
+	}
+	xp, xm := channel.New(channel.X, channel.Plus), channel.New(channel.X, channel.Minus)
+	allowed := 0
+	if ts.Allows(xp, xm) {
+		allowed++
+	}
+	if ts.Allows(xm, xp) {
+		allowed++
+	}
+	if allowed != 1 {
+		t.Errorf("exactly one X U-turn should be allowed, got %d", allowed)
+	}
+}
+
+func TestConsecutiveOnlyOption(t *testing.T) {
+	c := MustParseChain("PA[X+] -> PB[Y+] -> PC[X-]")
+	all := c.Turns(TurnOptions{UITurns: true})
+	consec := c.Turns(TurnOptions{UITurns: true, ConsecutiveOnly: true})
+	xp, xm := channel.New(channel.X, channel.Plus), channel.New(channel.X, channel.Minus)
+	if !all.Allows(xp, xm) {
+		t.Error("PA -> PC transition should exist with any-ascending order")
+	}
+	if consec.Allows(xp, xm) {
+		t.Error("PA -> PC transition must be absent with consecutive-only")
+	}
+	if !consec.Allows(xp, channel.New(channel.Y, channel.Plus)) {
+		t.Error("PA -> PB transition should exist with consecutive-only")
+	}
+}
+
+func TestNoTransitionsOption(t *testing.T) {
+	c := MustParseChain("PA[X+] -> PB[Y+]")
+	ts := c.Turns(TurnOptions{UITurns: true, NoTransitions: true})
+	if ts.Len() != 0 {
+		t.Errorf("singleton partitions with no transitions should have no turns, got %v", ts)
+	}
+}
+
+func TestChainReversed(t *testing.T) {
+	c := MustParseChain("PA[X+] -> PB[Y+]")
+	r := c.Reversed()
+	if r.Partitions()[0].Name() != "PB" || r.Partitions()[1].Name() != "PA" {
+		t.Error("Reversed order wrong")
+	}
+	// Reversing twice is identity.
+	if !r.Reversed().Equal(c) {
+		t.Error("double reverse should equal original")
+	}
+}
+
+func TestPartitionOf(t *testing.T) {
+	c := MustParseChain("PA[X+ Y-] -> PB[X- Y+]")
+	if i := c.PartitionOf(channel.New(channel.Y, channel.Plus)); i != 1 {
+		t.Errorf("PartitionOf(Y+) = %d", i)
+	}
+	if i := c.PartitionOf(channel.NewVC(channel.Y, channel.Plus, 2)); i != -1 {
+		t.Errorf("PartitionOf(Y2+) = %d, want -1", i)
+	}
+}
+
+func TestMinChannelsFormula(t *testing.T) {
+	want := map[int]int{1: 2, 2: 6, 3: 16, 4: 40, 5: 96}
+	for n, w := range want {
+		if got := MinChannelsFullyAdaptive(n); got != w {
+			t.Errorf("MinChannelsFullyAdaptive(%d) = %d, want %d", n, got, w)
+		}
+	}
+	if MinChannelsFullyAdaptive(0) != 0 {
+		t.Error("n=0 should be 0")
+	}
+	for n := 1; n <= 6; n++ {
+		if got := MaxChannelsPerPartition(n); got != n+1 {
+			t.Errorf("MaxChannelsPerPartition(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestTurnSetOperations(t *testing.T) {
+	a := NewTurnSet()
+	b := NewTurnSet()
+	e := channel.New(channel.X, channel.Plus)
+	n := channel.New(channel.Y, channel.Plus)
+	s := channel.New(channel.Y, channel.Minus)
+	a.Add(e, n, ByTheorem1)
+	b.Add(e, s, ByTheorem3)
+	u := a.Union(b)
+	if u.Len() != 2 || !u.Allows(e, n) || !u.Allows(e, s) {
+		t.Error("Union broken")
+	}
+	if a.Equal(b) || !a.Equal(a) {
+		t.Error("Equal broken")
+	}
+	if !a.Subset(u) || u.Subset(a) {
+		t.Error("Subset broken")
+	}
+	// Earliest theorem label wins on re-add.
+	a.Add(e, n, ByTheorem3)
+	if got := a.Turns()[0].Source; got != ByTheorem1 {
+		t.Errorf("source after re-add = %v, want T1", got)
+	}
+	a.Add(e, s, ByTheorem3)
+	a.Add(e, s, ByTheorem1)
+	for _, turn := range a.Turns() {
+		if turn.To == s && turn.Source != ByTheorem1 {
+			t.Errorf("upgrade to earlier theorem failed: %v", turn.Source)
+		}
+	}
+}
+
+func TestTurnKinds(t *testing.T) {
+	cases := []struct {
+		from, to string
+		kind     TurnKind
+	}{
+		{"X+", "Y+", Turn90},
+		{"X+", "X-", UTurn},
+		{"X1+", "X2-", UTurn},
+		{"X1+", "X2+", ITurn},
+	}
+	for _, tc := range cases {
+		got := KindOf(channel.MustParse(tc.from), channel.MustParse(tc.to))
+		if got != tc.kind {
+			t.Errorf("KindOf(%s, %s) = %v, want %v", tc.from, tc.to, got, tc.kind)
+		}
+	}
+	if Turn90.String() != "90" || UTurn.String() != "U" || ITurn.String() != "I" {
+		t.Error("TurnKind.String broken")
+	}
+}
+
+func TestParseTurnList(t *testing.T) {
+	ts, err := ParseTurnList("X+>Y+, Y1->X2+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("len = %d", len(ts))
+	}
+	if ts[0].Kind() != Turn90 {
+		t.Error("first turn should be 90 degree")
+	}
+	if _, err := ParseTurnList("X+Y+"); err == nil {
+		t.Error("missing > should fail")
+	}
+}
+
+func TestChainString(t *testing.T) {
+	c := MustParseChain("PA[X+ X- Y-] -> PB[Y+]")
+	if got := c.PlainString(); got != "PA[X+ X- Y-] -> PB[Y+]" {
+		t.Errorf("PlainString = %q", got)
+	}
+	if got := c.String(); got != "PA[X1+ X1- Y1-] -> PB[Y1+]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTurnSetByKindAndSource(t *testing.T) {
+	c := MustParseChain("PA[X+ X- Y-] -> PB[Y+]")
+	ts := c.AllTurns()
+	if len(ts.BySource(ByTheorem1)) != 4 {
+		t.Errorf("T1 turns = %d, want 4", len(ts.BySource(ByTheorem1)))
+	}
+	if len(ts.BySource(ByTheorem2)) != 1 {
+		t.Errorf("T2 turns = %d, want 1", len(ts.BySource(ByTheorem2)))
+	}
+	// Theorem 3: X+ -> Y+, X- -> Y+ (90), Y- -> Y+ (U).
+	if len(ts.BySource(ByTheorem3)) != 3 {
+		t.Errorf("T3 turns = %d, want 3", len(ts.BySource(ByTheorem3)))
+	}
+	if len(ts.ByKind(UTurn)) != 2 {
+		t.Errorf("U turns = %d, want 2", len(ts.ByKind(UTurn)))
+	}
+}

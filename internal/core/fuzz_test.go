@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzParseChain checks the chain parser never panics, never accepts a
+// Theorem-1-violating or overlapping design, and that accepted chains
+// survive a String round trip and extract turns without error.
+func FuzzParseChain(f *testing.F) {
+	for _, seed := range []string{
+		"PA[X+ X- Y-] -> PB[Y+]",
+		"PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]",
+		"P[Z1*]",
+		"PA[X+ X- Y+ Y-]",
+		"PA[X+] -> PB[X+]",
+		"->", "PA[", "[]", "PA[bogus]", "PA[X+] -> -> PB[Y+]",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 200 {
+			return // keep turn extraction cheap
+		}
+		chain, err := ParseChain(s)
+		if err != nil {
+			return
+		}
+		// Accepted chains satisfy the theorems by construction.
+		if err := chain.Validate(); err != nil {
+			t.Fatalf("accepted chain fails validation: %v", err)
+		}
+		// Round trip through the canonical rendering.
+		back, err := ParseChain(chain.String())
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", chain.String(), err)
+		}
+		if !back.Equal(chain) {
+			t.Fatalf("round trip mismatch: %s != %s", back, chain)
+		}
+		// Turn extraction must not panic and must stay internally
+		// consistent.
+		ts := chain.AllTurns()
+		n90, nU, nI := ts.Counts()
+		if n90+nU+nI != ts.Len() {
+			t.Fatalf("turn counts inconsistent: %d+%d+%d != %d", n90, nU, nI, ts.Len())
+		}
+	})
+}

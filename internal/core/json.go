@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ebda/internal/channel"
+)
+
+// chainJSON is the on-disk representation of a chain: partition names and
+// channel classes in the paper's string notation.
+type chainJSON struct {
+	Partitions []partitionJSON `json:"partitions"`
+}
+
+type partitionJSON struct {
+	Name     string   `json:"name"`
+	Channels []string `json:"channels"`
+}
+
+// MarshalJSON encodes the chain as named partitions of class strings,
+// e.g. {"partitions":[{"name":"PA","channels":["X1+","Y1+","Y1-"]}, ...]}.
+func (c *Chain) MarshalJSON() ([]byte, error) {
+	out := chainJSON{}
+	for _, p := range c.parts {
+		pj := partitionJSON{Name: p.Name()}
+		for _, cls := range p.Channels() {
+			pj.Channels = append(pj.Channels, cls.String())
+		}
+		out.Partitions = append(out.Partitions, pj)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes and validates a chain (Theorem 1 per partition,
+// pairwise disjointness).
+func (c *Chain) UnmarshalJSON(data []byte) error {
+	var in chainJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	var parts []*Partition
+	for i, pj := range in.Partitions {
+		var classes []channel.Class
+		for _, s := range pj.Channels {
+			cls, err := channel.Parse(s)
+			if err != nil {
+				return fmt.Errorf("core: partition %d: %w", i, err)
+			}
+			classes = append(classes, cls)
+		}
+		name := pj.Name
+		if name == "" {
+			name = autoName(i)
+		}
+		p, err := NewPartition(name, classes...)
+		if err != nil {
+			return err
+		}
+		parts = append(parts, p)
+	}
+	chain, err := NewChain(parts...)
+	if err != nil {
+		return err
+	}
+	*c = *chain
+	return nil
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestChainJSONRoundTrip(t *testing.T) {
+	orig := MustParseChain("PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]")
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"X1+"`) || !strings.Contains(string(data), `"PA"`) {
+		t.Errorf("encoding: %s", data)
+	}
+	var back Chain
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(orig) {
+		t.Errorf("round trip: %s != %s", back.String(), orig.String())
+	}
+}
+
+func TestChainJSONValidates(t *testing.T) {
+	// Theorem-1 violations are rejected at decode time.
+	bad := `{"partitions":[{"name":"PA","channels":["X1+","X1-","Y1+","Y1-"]}]}`
+	var c Chain
+	if err := json.Unmarshal([]byte(bad), &c); err == nil {
+		t.Error("Theorem-1 violation should fail to decode")
+	}
+	// Overlapping partitions too.
+	overlap := `{"partitions":[{"name":"PA","channels":["X1+"]},{"name":"PB","channels":["X1+"]}]}`
+	if err := json.Unmarshal([]byte(overlap), &c); err == nil {
+		t.Error("overlap should fail to decode")
+	}
+	// Bad class strings.
+	junk := `{"partitions":[{"name":"PA","channels":["bogus"]}]}`
+	if err := json.Unmarshal([]byte(junk), &c); err == nil {
+		t.Error("bad class should fail to decode")
+	}
+	// Missing names are auto-assigned.
+	anon := `{"partitions":[{"channels":["X1+"]},{"channels":["X1-"]}]}`
+	if err := json.Unmarshal([]byte(anon), &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Partitions()[0].Name() != "PA" || c.Partitions()[1].Name() != "PB" {
+		t.Error("auto names not assigned")
+	}
+}
+
+func TestChainJSONParityClasses(t *testing.T) {
+	// Odd-Even style parity classes survive the round trip.
+	spec := `{"partitions":[{"name":"PA","channels":["X1-","Ye+","Ye-"]},{"name":"PB","channels":["X1+","Yo+","Yo-"]}]}`
+	var c Chain
+	if err := json.Unmarshal([]byte(spec), &c); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Chain
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(&c) {
+		t.Error("parity round trip failed")
+	}
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ebda/internal/channel"
+)
+
+func TestNewPartitionRejectsDuplicates(t *testing.T) {
+	_, err := NewPartition("P", channel.New(channel.X, channel.Plus), channel.New(channel.X, channel.Plus))
+	if err == nil {
+		t.Fatal("duplicate channel should be rejected")
+	}
+}
+
+func TestNewPartitionRejectsInvalid(t *testing.T) {
+	_, err := NewPartition("P", channel.Class{})
+	if err == nil {
+		t.Fatal("invalid class should be rejected")
+	}
+}
+
+func TestParsePartition(t *testing.T) {
+	p := MustParsePartition("PA[X1+ Y1+ Z1*]")
+	if p.Name() != "PA" {
+		t.Errorf("name = %q", p.Name())
+	}
+	want := channel.MustParseList("X1+ Y1+ Z1+ Z1-")
+	if len(p.Channels()) != len(want) {
+		t.Fatalf("channels = %v", p.Channels())
+	}
+	for i, c := range p.Channels() {
+		if c != want[i] {
+			t.Errorf("channel %d = %v, want %v", i, c, want[i])
+		}
+	}
+	if _, err := ParsePartition("PA[X1+"); err == nil {
+		t.Error("unterminated bracket should fail")
+	}
+	if _, err := ParsePartition("PA[bogus+]"); err == nil {
+		t.Error("bad channel should fail")
+	}
+}
+
+func TestCompletePairDims(t *testing.T) {
+	cases := []struct {
+		partition string
+		wantDims  int
+	}{
+		{"[X+ X- Y-]", 1},   // X pair
+		{"[X+ Y+]", 0},      // no pair
+		{"[X1+ X2- Y+]", 1}, // pair across VCs (Definition 3)
+		{"[X1+ X2- Y1+ Y2-]", 2},
+		{"[X1+ Y1+ Y1- Y2+ Y2-]", 1}, // multiple pairs in one dim count once
+		{"[X+ X- Y+ Y- Z+ Z-]", 3},
+	}
+	for _, tc := range cases {
+		p := MustParsePartition(tc.partition)
+		if got := len(p.CompletePairDims()); got != tc.wantDims {
+			t.Errorf("%s: complete pair dims = %d, want %d", tc.partition, got, tc.wantDims)
+		}
+	}
+}
+
+func TestTheorem1(t *testing.T) {
+	// Paper's note to Theorem 1: {X1+ X2- Y1+ Y2-} is NOT cycle-free —
+	// two complete pairs.
+	bad := MustParsePartition("[X1+ X2- Y1+ Y2-]")
+	if err := bad.CheckTheorem1(); !errors.Is(err, ErrTheorem1) {
+		t.Errorf("expected ErrTheorem1, got %v", err)
+	}
+	// {X1+ Y1+ Y1- Y2+ Y2-} IS cycle-free — one D-pair dimension.
+	good := MustParsePartition("[X1+ Y1+ Y1- Y2+ Y2-]")
+	if err := good.CheckTheorem1(); err != nil {
+		t.Errorf("expected valid, got %v", err)
+	}
+	if !good.CycleFree() || bad.CycleFree() {
+		t.Error("CycleFree disagrees with CheckTheorem1")
+	}
+}
+
+func TestParityPairsDoNotComplete(t *testing.T) {
+	// Hamiltonian-path partition {Xe+ Xo- Y+}: opposite X directions in
+	// complementary rows never meet, so no complete pair forms.
+	p := MustPartition("PA",
+		channel.NewParity(channel.X, channel.Plus, channel.Y, channel.Even),
+		channel.NewParity(channel.X, channel.Minus, channel.Y, channel.Odd),
+		channel.New(channel.Y, channel.Plus),
+	)
+	if got := len(p.CompletePairDims()); got != 0 {
+		t.Errorf("parity-disjoint opposite channels formed %d pairs", got)
+	}
+	// Same parity does complete: {Xe+ Xe-}.
+	q := MustPartition("PB",
+		channel.NewParity(channel.X, channel.Plus, channel.Y, channel.Even),
+		channel.NewParity(channel.X, channel.Minus, channel.Y, channel.Even),
+	)
+	if got := len(q.CompletePairDims()); got != 1 {
+		t.Errorf("same-parity opposite channels formed %d pairs, want 1", got)
+	}
+}
+
+func TestDisjoint(t *testing.T) {
+	a := MustParsePartition("PA[X1+ Y1+]")
+	b := MustParsePartition("PB[X1- Y2+]")
+	c := MustParsePartition("PC[X1+ Z1+]")
+	if !a.Disjoint(b) {
+		t.Error("PA and PB should be disjoint")
+	}
+	if a.Disjoint(c) {
+		t.Error("PA and PC share X1+")
+	}
+}
+
+func TestSubPartition(t *testing.T) {
+	p := MustParsePartition("PA[X+ X- Y-]")
+	sub, err := p.SubPartition("S", channel.New(channel.X, channel.Plus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sub.CycleFree() {
+		t.Error("sub-partition of a cycle-free partition must be cycle-free")
+	}
+	if _, err := p.SubPartition("S", channel.New(channel.Y, channel.Plus)); err == nil {
+		t.Error("SubPartition with non-member should fail")
+	}
+}
+
+func TestFigure3Turns(t *testing.T) {
+	// P = {X+ X- Y-}: four 90-degree turns WS, SE, ES, SW.
+	p := MustParsePartition("[X+ X- Y-]")
+	ts := p.InnerTurns(false)
+	n90, nU, nI := ts.Counts()
+	if n90 != 4 || nU != 0 || nI != 0 {
+		t.Fatalf("counts = %d/%d/%d, want 4/0/0", n90, nU, nI)
+	}
+	for _, want := range []string{"WS", "SE", "ES", "SW"} {
+		found := false
+		for _, turn := range ts.Turns() {
+			if turn.PlainString() == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing turn %s", want)
+		}
+	}
+}
+
+func TestTheorem2AscendingUTurn(t *testing.T) {
+	// Order [X+ X- Y-]: numbering gives exactly the X+ -> X- U-turn.
+	p := MustParsePartition("[X+ X- Y-]")
+	ts := p.InnerTurns(true)
+	xp, xm := channel.New(channel.X, channel.Plus), channel.New(channel.X, channel.Minus)
+	if !ts.Allows(xp, xm) {
+		t.Error("ascending U-turn X+ -> X- should be allowed")
+	}
+	if ts.Allows(xm, xp) {
+		t.Error("descending U-turn X- -> X+ must be prohibited")
+	}
+	// Reversing the stated order flips the permitted U-turn.
+	q := MustParsePartition("[X- X+ Y-]")
+	ts2 := q.InnerTurns(true)
+	if !ts2.Allows(xm, xp) || ts2.Allows(xp, xm) {
+		t.Error("reversed order should flip the permitted U-turn")
+	}
+}
+
+func TestFigure4UITurnCounts(t *testing.T) {
+	// Three VCs along Y inside one partition: 6 channels, 15 U/I turns
+	// (9 U + 6 I), per Figure 4.
+	p := MustParsePartition("[Y1* Y2* Y3*]")
+	ts := p.InnerTurns(true)
+	n90, nU, nI := ts.Counts()
+	if n90 != 0 {
+		t.Errorf("unexpected 90-degree turns: %d", n90)
+	}
+	if nU != 9 || nI != 6 {
+		t.Errorf("U/I = %d/%d, want 9/6", nU, nI)
+	}
+	u, i, total := UITurnCounts(3, 3)
+	if u != 9 || i != 6 || total != 15 {
+		t.Errorf("UITurnCounts(3,3) = %d/%d/%d", u, i, total)
+	}
+}
+
+func TestUITurnCountsIdentity(t *testing.T) {
+	// n(n-1)/2 == ab + C(a,2) + C(b,2) for all small a, b.
+	for a := 0; a <= 8; a++ {
+		for b := 0; b <= 8; b++ {
+			u, i, total := UITurnCounts(a, b)
+			n := a + b
+			if total != n*(n-1)/2 {
+				t.Errorf("a=%d b=%d: total %d != %d", a, b, total, n*(n-1)/2)
+			}
+			if u+i != total {
+				t.Errorf("a=%d b=%d: u+i != total", a, b)
+			}
+		}
+	}
+}
+
+func TestITurnsInNonPairDimension(t *testing.T) {
+	// A dimension present in one direction only allows all its I-turns in
+	// both orders (corollary of Theorem 2).
+	p := MustParsePartition("[X1+ X2+ Y-]")
+	ts := p.InnerTurns(true)
+	x1, x2 := channel.NewVC(channel.X, channel.Plus, 1), channel.NewVC(channel.X, channel.Plus, 2)
+	if !ts.Allows(x1, x2) || !ts.Allows(x2, x1) {
+		t.Error("both I-turn orders should be allowed in a pair-free dimension")
+	}
+}
+
+func TestITurnsAscendingInPairDimension(t *testing.T) {
+	// With a complete pair present, I-turns follow the ascending order too.
+	p := MustParsePartition("[X1+ X1- X2+ Y-]")
+	ts := p.InnerTurns(true)
+	x1p := channel.NewVC(channel.X, channel.Plus, 1)
+	x2p := channel.NewVC(channel.X, channel.Plus, 2)
+	if !ts.Allows(x1p, x2p) {
+		t.Error("ascending I-turn should be allowed")
+	}
+	if ts.Allows(x2p, x1p) {
+		t.Error("descending I-turn must be prohibited in a complete-pair dimension")
+	}
+}
+
+func TestPartitionStrings(t *testing.T) {
+	p := MustParsePartition("PA[X+ X- Y-]")
+	if got := p.String(); got != "PA[X1+ X1- Y1-]" {
+		t.Errorf("String = %q", got)
+	}
+	if got := p.PlainString(); got != "PA[X+ X- Y-]" {
+		t.Errorf("PlainString = %q", got)
+	}
+}
+
+func TestPartitionEqual(t *testing.T) {
+	a := MustParsePartition("PA[X+ Y-]")
+	b := MustParsePartition("PB[X+ Y-]")
+	c := MustParsePartition("PC[Y- X+]")
+	if !a.Equal(b) {
+		t.Error("names must not affect Equal")
+	}
+	if a.Equal(c) {
+		t.Error("order matters for Equal")
+	}
+	if !a.EqualUnordered(c) {
+		t.Error("EqualUnordered should ignore order")
+	}
+}
+
+// randomPartition builds a random valid partition over dims 0..2, VCs 1..2.
+func randomPartition(r *rand.Rand) *Partition {
+	var classes []channel.Class
+	seen := map[channel.Class]bool{}
+	n := 1 + r.Intn(5)
+	for len(classes) < n {
+		c := channel.NewVC(channel.Dim(r.Intn(3)), channel.Plus, 1+r.Intn(2))
+		if r.Intn(2) == 0 {
+			c = c.Opposite()
+		}
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		classes = append(classes, c)
+	}
+	p, _ := NewPartition("R", classes...)
+	return p
+}
+
+func TestQuickSubPartitionsPreserveTheorem1(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPartition(r)
+		if p == nil || !p.CycleFree() {
+			return true // only the corollary's premise matters
+		}
+		// Drop one random channel; the rest must stay cycle-free.
+		chans := p.Channels()
+		if len(chans) < 2 {
+			return true
+		}
+		drop := r.Intn(len(chans))
+		var keep []channel.Class
+		for i, c := range chans {
+			if i != drop {
+				keep = append(keep, c)
+			}
+		}
+		sub, err := p.SubPartition("S", keep...)
+		return err == nil && sub.CycleFree()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInnerTurnsNeverCrossDimInUI(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPartition(r)
+		if p == nil {
+			return true
+		}
+		ts := p.InnerTurns(true)
+		for _, turn := range ts.Turns() {
+			switch turn.Kind() {
+			case Turn90:
+				if turn.From.Dim == turn.To.Dim {
+					return false
+				}
+			case UTurn, ITurn:
+				if turn.From.Dim != turn.To.Dim {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,332 @@
+// Package core implements the EbDa theory: partitions of channel classes,
+// the three theorems governing when a partition (and a chain of partitions)
+// is cycle-free, and the extraction of the full allowable turn set from a
+// partition chain.
+//
+// The theory operates on abstract channel classes (see internal/channel).
+// Designs produced here are independently verifiable on concrete networks
+// through internal/cdg, which builds the induced channel dependency graph
+// and checks it for cycles — the Dally condition.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ebda/internal/channel"
+)
+
+// TurnKind classifies a transition between two channels by the angle
+// between them, following the paper's Definitions 4 and 5.
+type TurnKind int
+
+// The three turn kinds.
+const (
+	// Turn90 is a transition between channels of different dimensions
+	// (a 90-degree turn).
+	Turn90 TurnKind = iota
+	// UTurn is a transition between opposite directions of the same
+	// dimension (a 180-degree turn), possibly with different VC numbers.
+	UTurn
+	// ITurn is a transition between channels of the same dimension and
+	// direction but different VC numbers or parity classes (a 0-degree
+	// turn).
+	ITurn
+)
+
+// String returns "90", "U" or "I".
+func (k TurnKind) String() string {
+	switch k {
+	case Turn90:
+		return "90"
+	case UTurn:
+		return "U"
+	case ITurn:
+		return "I"
+	default:
+		return fmt.Sprintf("TurnKind(%d)", int(k))
+	}
+}
+
+// Theorem identifies which of the paper's three theorems admits a turn.
+type Theorem int
+
+// The theorem labels used when annotating extracted turns.
+const (
+	// ByTheorem1 marks 90-degree turns formed inside a partition.
+	ByTheorem1 Theorem = 1
+	// ByTheorem2 marks U- and I-turns formed inside a partition under
+	// the ascending-order rule.
+	ByTheorem2 Theorem = 2
+	// ByTheorem3 marks turns formed by transitions between partitions.
+	ByTheorem3 Theorem = 3
+)
+
+// String returns "T1", "T2" or "T3".
+func (t Theorem) String() string { return fmt.Sprintf("T%d", int(t)) }
+
+// Turn is a permitted transition from one channel class to another.
+type Turn struct {
+	From, To channel.Class
+	// Source records which theorem admitted the turn.
+	Source Theorem
+}
+
+// Kind classifies the turn by the relation between its endpoints.
+func (t Turn) Kind() TurnKind { return KindOf(t.From, t.To) }
+
+// KindOf classifies the transition from one class to another.
+func KindOf(from, to channel.Class) TurnKind {
+	if from.Dim != to.Dim {
+		return Turn90
+	}
+	if from.Sign != to.Sign {
+		return UTurn
+	}
+	return ITurn
+}
+
+// String renders the turn in the figure notation of the paper, e.g. "E1N2"
+// for VC-numbered channels or "WS" in plain 2D settings.
+func (t Turn) String() string { return t.From.Short() + t.To.Short() }
+
+// PlainString renders the turn using ShortPlain endpoint notation ("WS",
+// "N1W1" only when VCs matter).
+func (t Turn) PlainString() string { return t.From.ShortPlain() + t.To.ShortPlain() }
+
+// TurnSet is the set of permitted transitions of a design, keyed by the
+// (from, to) class pair, together with the set of channel classes the
+// design declares (a class may be declared without participating in any
+// turn, e.g. the only channel of a single-partition design). It is the
+// object the paper's figures and tables enumerate, and the input from
+// which routing algorithms and channel dependency graphs are built.
+//
+// Continuing along the same channel class (taking the class's next
+// concrete channel without turning) is always permitted for declared
+// classes — Definition 2's "arbitrarily and repeatedly" — and Allows
+// reflects that.
+type TurnSet struct {
+	turns    map[[2]channel.Class]Theorem
+	declared map[channel.Class]bool
+}
+
+// NewTurnSet returns an empty turn set.
+func NewTurnSet() *TurnSet {
+	return &TurnSet{
+		turns:    make(map[[2]channel.Class]Theorem),
+		declared: make(map[channel.Class]bool),
+	}
+}
+
+// Add inserts a turn and declares both endpoint classes. If the turn is
+// already present, the earliest theorem label is kept (a turn admitted by
+// Theorem 1 stays labelled T1 even if a later transition would also
+// produce it).
+func (s *TurnSet) Add(from, to channel.Class, src Theorem) {
+	s.declared[from] = true
+	s.declared[to] = true
+	key := [2]channel.Class{from, to}
+	if old, ok := s.turns[key]; ok && old <= src {
+		return
+	}
+	s.turns[key] = src
+}
+
+// Declare registers a channel class as part of the design without adding
+// any turn. Declared classes permit same-class continuation.
+func (s *TurnSet) Declare(cls channel.Class) { s.declared[cls] = true }
+
+// Declared reports whether a class is part of the design.
+func (s *TurnSet) Declared(cls channel.Class) bool { return s.declared[cls] }
+
+// Allows reports whether the transition from one class to another is
+// permitted: either an explicit turn, or same-class continuation of a
+// declared class.
+func (s *TurnSet) Allows(from, to channel.Class) bool {
+	if from == to {
+		return s.declared[from]
+	}
+	_, ok := s.turns[[2]channel.Class{from, to}]
+	return ok
+}
+
+// Contains reports whether the exact turn (including its theorem label) is
+// present.
+func (s *TurnSet) Contains(t Turn) bool {
+	src, ok := s.turns[[2]channel.Class{t.From, t.To}]
+	return ok && src == t.Source
+}
+
+// Len returns the number of turns in the set.
+func (s *TurnSet) Len() int { return len(s.turns) }
+
+// Turns returns all turns sorted by (From, To) class order.
+func (s *TurnSet) Turns() []Turn {
+	out := make([]Turn, 0, len(s.turns))
+	for key, src := range s.turns {
+		out = append(out, Turn{From: key[0], To: key[1], Source: src})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].From.Compare(out[j].From); c != 0 {
+			return c < 0
+		}
+		return out[i].To.Compare(out[j].To) < 0
+	})
+	return out
+}
+
+// ByKind returns the turns of one kind, sorted.
+func (s *TurnSet) ByKind(k TurnKind) []Turn {
+	var out []Turn
+	for _, t := range s.Turns() {
+		if t.Kind() == k {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// BySource returns the turns admitted by one theorem, sorted.
+func (s *TurnSet) BySource(src Theorem) []Turn {
+	var out []Turn
+	for _, t := range s.Turns() {
+		if t.Source == src {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Counts returns the number of 90-degree, U- and I-turns in the set.
+func (s *TurnSet) Counts() (n90, nU, nI int) {
+	for key := range s.turns {
+		switch KindOf(key[0], key[1]) {
+		case Turn90:
+			n90++
+		case UTurn:
+			nU++
+		case ITurn:
+			nI++
+		}
+	}
+	return
+}
+
+// Classes returns every declared channel class (which includes every turn
+// endpoint), sorted.
+func (s *TurnSet) Classes() []channel.Class {
+	out := make([]channel.Class, 0, len(s.declared))
+	for c := range s.declared {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Union returns a new set containing the turns and declared classes of
+// both sets.
+func (s *TurnSet) Union(o *TurnSet) *TurnSet {
+	u := NewTurnSet()
+	for key, src := range s.turns {
+		u.Add(key[0], key[1], src)
+	}
+	for key, src := range o.turns {
+		u.Add(key[0], key[1], src)
+	}
+	for c := range s.declared {
+		u.Declare(c)
+	}
+	for c := range o.declared {
+		u.Declare(c)
+	}
+	return u
+}
+
+// Equal reports whether two sets permit exactly the same transitions
+// (theorem labels are ignored).
+func (s *TurnSet) Equal(o *TurnSet) bool {
+	if len(s.turns) != len(o.turns) {
+		return false
+	}
+	for key := range s.turns {
+		if _, ok := o.turns[key]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Subset reports whether every turn in s is also in o.
+func (s *TurnSet) Subset(o *TurnSet) bool {
+	for key := range s.turns {
+		if _, ok := o.turns[key]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set grouped by kind, in Short notation, e.g.
+// "90: E1N1 N1E1 | U: U1D1 | I: E1E2".
+func (s *TurnSet) String() string {
+	var b strings.Builder
+	for i, k := range []TurnKind{Turn90, UTurn, ITurn} {
+		ts := s.ByKind(k)
+		if len(ts) == 0 {
+			continue
+		}
+		if i > 0 && b.Len() > 0 {
+			b.WriteString(" | ")
+		}
+		fmt.Fprintf(&b, "%s:", k)
+		for _, t := range ts {
+			b.WriteByte(' ')
+			b.WriteString(t.String())
+		}
+	}
+	return b.String()
+}
+
+// FormatTurns renders a list of turns as space-separated Short notation.
+func FormatTurns(ts []Turn) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// FormatTurnsPlain renders a list of turns as space-separated ShortPlain
+// notation ("WS SE ES SW").
+func FormatTurnsPlain(ts []Turn) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.PlainString()
+	}
+	return strings.Join(parts, " ")
+}
+
+// ParseTurnList parses turns given as "from>to" pairs separated by spaces or
+// commas, where each endpoint uses the channel.Parse notation, e.g.
+// "X+>Y+, Y1->X2+". It is used by the verification CLI.
+func ParseTurnList(s string) ([]Turn, error) {
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == ' ' || r == ',' })
+	out := make([]Turn, 0, len(fields))
+	for _, f := range fields {
+		parts := strings.Split(f, ">")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("core: malformed turn %q (want from>to)", f)
+		}
+		from, err := channel.Parse(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		to, err := channel.Parse(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Turn{From: from, To: to})
+	}
+	return out, nil
+}

@@ -1,0 +1,119 @@
+// Package cost estimates router implementation cost for a design, in the
+// spirit of the paper's Section 5.4 discussion and its remark that
+// relaxing wormhole restrictions "costs more resources" (the [30]
+// comparison): input buffering dominates NoC router area, so designs are
+// compared by buffer bits, crossbar size, virtual-channel allocator
+// complexity, and the routing-unit comparator count synthesized by
+// internal/synth.
+//
+// The model is deliberately first-order (an ORION-style estimate, not a
+// layout tool): it ranks designs and exposes trade-offs such as
+// adaptiveness per buffer bit; absolute numbers are illustrative.
+package cost
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Params are the technology-independent sizing knobs.
+type Params struct {
+	// FlitBits is the flit width (default 64).
+	FlitBits int
+	// BufferDepth is the per-VC buffer depth in flits (default 4).
+	BufferDepth int
+}
+
+func (p *Params) setDefaults() {
+	if p.FlitBits == 0 {
+		p.FlitBits = 64
+	}
+	if p.BufferDepth == 0 {
+		p.BufferDepth = 4
+	}
+}
+
+// Router describes one router's resource profile.
+type Router struct {
+	// Ports is the number of directional ports (2 per dimension) plus
+	// the local injection/ejection port.
+	Ports int
+	// VCsPerPort is the total virtual channels summed over directional
+	// ports (the local port is counted with one VC).
+	VCsPerPort []int
+	// BufferBits is the total input buffering.
+	BufferBits int
+	// CrossbarPoints is the crosspoint count (inputs x outputs at flit
+	// width).
+	CrossbarPoints int
+	// VCAllocArbiters counts the VC-allocator arbitration inputs: each
+	// output VC arbitrates among all input VCs.
+	VCAllocArbiters int
+	// RoutingComparators is the synthesized routing-unit comparator
+	// count when available (set by the caller from internal/synth), or
+	// zero.
+	RoutingComparators int
+}
+
+// Estimate sizes a router for an n-dimensional design with the given
+// per-dimension VC counts.
+func Estimate(vcsPerDim []int, p Params) Router {
+	p.setDefaults()
+	dims := len(vcsPerDim)
+	r := Router{Ports: 2*dims + 1}
+	totalVCs := 1 // local port
+	for _, v := range vcsPerDim {
+		r.VCsPerPort = append(r.VCsPerPort, v, v) // + and - ports
+		totalVCs += 2 * v
+	}
+	r.VCsPerPort = append(r.VCsPerPort, 1)
+	r.BufferBits = totalVCs * p.BufferDepth * p.FlitBits
+	r.CrossbarPoints = r.Ports * r.Ports * p.FlitBits
+	r.VCAllocArbiters = totalVCs * totalVCs
+	return r
+}
+
+// String renders the profile.
+func (r Router) String() string {
+	return fmt.Sprintf("%d ports, %d buffer bits, %d crosspoints, %d VC-alloc arbiter inputs",
+		r.Ports, r.BufferBits, r.CrossbarPoints, r.VCAllocArbiters)
+}
+
+// Comparison is one row of a design cost table.
+type Comparison struct {
+	Name         string
+	VCs          []int
+	Router       Router
+	Adaptiveness float64
+}
+
+// Efficiency returns adaptiveness per kilobit of buffering — the
+// figure of merit for "how much path diversity a design buys per unit of
+// its dominant resource".
+func (c Comparison) Efficiency() float64 {
+	if c.Router.BufferBits == 0 {
+		return 0
+	}
+	return c.Adaptiveness / (float64(c.Router.BufferBits) / 1024)
+}
+
+// Table renders comparisons aligned.
+func Table(rows []Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-10s %12s %12s %14s %12s\n",
+		"design", "VCs", "buffer bits", "crosspoints", "adaptiveness", "adapt/kbit")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %-10s %12d %12d %14.4f %12.4f\n",
+			r.Name, vcString(r.VCs), r.Router.BufferBits, r.Router.CrossbarPoints,
+			r.Adaptiveness, r.Efficiency())
+	}
+	return b.String()
+}
+
+func vcString(vcs []int) string {
+	parts := make([]string, len(vcs))
+	for i, v := range vcs {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,88 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+
+	"ebda/internal/cdg"
+	"ebda/internal/core"
+	"ebda/internal/topology"
+)
+
+func TestEstimate2D(t *testing.T) {
+	// XY: 1 VC per dimension, default sizing (64-bit flits, 4-deep).
+	r := Estimate([]int{1, 1}, Params{})
+	if r.Ports != 5 {
+		t.Errorf("ports = %d", r.Ports)
+	}
+	// 4 directional VCs + 1 local = 5 VCs x 4 flits x 64 bits.
+	if r.BufferBits != 5*4*64 {
+		t.Errorf("buffer bits = %d", r.BufferBits)
+	}
+	if r.CrossbarPoints != 5*5*64 {
+		t.Errorf("crosspoints = %d", r.CrossbarPoints)
+	}
+	if r.VCAllocArbiters != 25 {
+		t.Errorf("arbiters = %d", r.VCAllocArbiters)
+	}
+}
+
+func TestEstimateScalesWithVCs(t *testing.T) {
+	xy := Estimate([]int{1, 1}, Params{})
+	dyxy := Estimate([]int{1, 2}, Params{})
+	duato := Estimate([]int{2, 2}, Params{})
+	if !(xy.BufferBits < dyxy.BufferBits && dyxy.BufferBits < duato.BufferBits) {
+		t.Errorf("buffer ordering wrong: %d %d %d",
+			xy.BufferBits, dyxy.BufferBits, duato.BufferBits)
+	}
+	fig9b := Estimate([]int{2, 2, 4}, Params{})
+	// 2*(2+2+4) + 1 = 17 VCs.
+	if fig9b.BufferBits != 17*4*64 {
+		t.Errorf("3D buffer bits = %d", fig9b.BufferBits)
+	}
+}
+
+func TestComparisonTable(t *testing.T) {
+	net := topology.NewMesh(5, 5)
+	mk := func(name, spec string, vcs []int) Comparison {
+		chain := core.MustParseChain(spec)
+		ad, err := cdg.Adaptiveness(net, cdg.VCConfig(vcs), chain.AllTurns())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Comparison{
+			Name: name, VCs: vcs,
+			Router:       Estimate(vcs, Params{}),
+			Adaptiveness: ad.Degree(),
+		}
+	}
+	rows := []Comparison{
+		mk("xy", "PA[X+] -> PB[X-] -> PC[Y+] -> PD[Y-]", []int{1, 1}),
+		mk("west-first", "PA[X-] -> PB[X+ Y+ Y-]", []int{1, 1}),
+		mk("dyxy", "PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]", []int{1, 2}),
+	}
+	// The claim worth checking: West-First buys ~6x XY's adaptiveness at
+	// identical router cost, so its efficiency dominates; DyXY reaches
+	// 1.0 adaptiveness with only one extra VC in one dimension.
+	if rows[1].Router.BufferBits != rows[0].Router.BufferBits {
+		t.Error("west-first and XY must cost the same")
+	}
+	if rows[1].Efficiency() <= rows[0].Efficiency() {
+		t.Error("west-first efficiency should dominate XY")
+	}
+	if rows[2].Adaptiveness != 1 {
+		t.Errorf("dyxy adaptiveness = %f", rows[2].Adaptiveness)
+	}
+	out := Table(rows)
+	for _, want := range []string{"design", "xy", "dyxy", "1,2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEfficiencyZeroGuard(t *testing.T) {
+	if (Comparison{}).Efficiency() != 0 {
+		t.Error("zero-cost comparison should have zero efficiency")
+	}
+}

@@ -1,0 +1,115 @@
+package deadlock
+
+import (
+	"strings"
+	"testing"
+
+	"ebda/internal/cdg"
+	"ebda/internal/core"
+	"ebda/internal/duato"
+	"ebda/internal/routing"
+	"ebda/internal/topology"
+)
+
+func TestXYHasNoConfiguration(t *testing.T) {
+	cfg := Find(topology.NewMesh(4, 4), nil, routing.NewXY())
+	if !cfg.Empty() {
+		t.Fatalf("XY should have no deadlock configuration:\n%s", cfg)
+	}
+}
+
+func TestEbDaChainsHaveNoConfiguration(t *testing.T) {
+	net := topology.NewMesh(4, 4)
+	for _, spec := range []string{
+		"PA[X+ X- Y-] -> PB[Y+]",
+		"PA[X- Y-] -> PB[X+ Y+]",
+		"PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]",
+	} {
+		chain := core.MustParseChain(spec)
+		alg := routing.NewFromChain(spec, chain, 2)
+		cfg := Find(net, cdg.VCConfig(alg.VCs()), alg)
+		if !cfg.Empty() {
+			t.Errorf("%s: found configuration:\n%s", spec, cfg)
+		}
+	}
+}
+
+func TestUnrestrictedHasConfiguration(t *testing.T) {
+	cfg := Find(topology.NewMesh(3, 3), nil, routing.NewUnrestricted())
+	if cfg.Empty() {
+		t.Fatal("unrestricted routing must admit a deadlock configuration")
+	}
+	// Internal consistency: every occupant's requests lie inside the
+	// configuration and the occupant has not arrived.
+	inSet := map[int]bool{}
+	for _, o := range cfg.Occupants {
+		inSet[o.Channel.Index] = true
+	}
+	for _, o := range cfg.Occupants {
+		if o.Channel.Link.To == o.Dst {
+			t.Errorf("occupant %s already at its destination", o.Channel)
+		}
+		if len(o.Requests) == 0 {
+			t.Errorf("occupant %s has no requests", o.Channel)
+		}
+		for _, r := range o.Requests {
+			if !inSet[r.Index] {
+				t.Errorf("request %s of %s escapes the configuration", r, o.Channel)
+			}
+		}
+	}
+	if !strings.Contains(cfg.String(), "deadlock configuration") {
+		t.Errorf("render: %s", cfg)
+	}
+}
+
+func TestDuatoHasCyclesButNoConfiguration(t *testing.T) {
+	// The Section-2 contrast, mechanically: the Duato design's full
+	// dependency graph is cyclic, yet no deadlock configuration exists —
+	// every candidate circular wait is broken by the always-requestable
+	// escape channel. (Duato's theorem on our own implementation.)
+	net := topology.NewMesh(4, 4)
+	a := duato.New()
+	vcs := cdg.VCConfig(a.VCsPerDim(net))
+	if routing.Verify(net, vcs, a).Acyclic {
+		t.Fatal("precondition: Duato relation should be cyclic")
+	}
+	cfg := Find(net, vcs, a)
+	if !cfg.Empty() {
+		t.Fatalf("Duato design should have no deadlock configuration:\n%s", cfg)
+	}
+}
+
+func TestDuatoTorusNoConfiguration(t *testing.T) {
+	tor := topology.NewTorus(4, 4)
+	a := duato.NewTorus()
+	cfg := Find(tor, cdg.VCConfig(a.VCsPerDim(tor)), a)
+	if !cfg.Empty() {
+		t.Fatalf("torus Duato should have no deadlock configuration:\n%s", cfg)
+	}
+}
+
+func TestPlainTorusDORHasConfiguration(t *testing.T) {
+	// DOR without the dateline discipline wedges around the ring.
+	tor := topology.NewTorus(5, 5)
+	cfg := Find(tor, nil, routing.NewXY())
+	if cfg.Empty() {
+		t.Fatal("plain DOR on a torus must admit a deadlock configuration")
+	}
+}
+
+func TestDatelineTorusNoConfiguration(t *testing.T) {
+	tor := topology.NewTorus(5, 5)
+	a := routing.NewDatelineTorus()
+	cfg := Find(tor, cdg.VCConfig(a.VCsPerDim(tor)), a)
+	if !cfg.Empty() {
+		t.Fatalf("dateline torus should be clean:\n%s", cfg)
+	}
+}
+
+func TestEmptyRender(t *testing.T) {
+	var cfg *Configuration
+	if cfg.String() != "no deadlock configuration (deadlock-free)" {
+		t.Errorf("nil render: %q", cfg.String())
+	}
+}

@@ -1,0 +1,159 @@
+// Package duato implements a Duato-style fully adaptive routing algorithm
+// as a comparison baseline: packets may take any productive hop on the
+// adaptive virtual channels, and a dimension-order escape virtual channel
+// guarantees deadlock freedom (Duato 1993).
+//
+// The contrast with EbDa (Section 2 of the paper): the full routing
+// relation of a Duato design is cyclic — only the escape sub-network is
+// acyclic — so Dally-style verification of the whole graph fails by
+// design, while every EbDa chain verifies acyclic outright. The package
+// exposes both the combined relation and the escape sub-relation so the
+// test suite can demonstrate exactly that.
+package duato
+
+import (
+	"ebda/internal/channel"
+	"ebda/internal/routing"
+	"ebda/internal/topology"
+)
+
+// FullyAdaptive is Duato-style fully adaptive routing for meshes: VC 1 of
+// every dimension is the escape channel (dimension-order routed); VCs
+// 2..1+AdaptiveVCs are adaptive.
+type FullyAdaptive struct {
+	// AdaptiveVCs is the number of adaptive VCs per dimension (>= 1).
+	AdaptiveVCs int
+}
+
+// New returns a Duato fully adaptive algorithm with one adaptive VC per
+// dimension (two VCs total per dimension).
+func New() *FullyAdaptive { return &FullyAdaptive{AdaptiveVCs: 1} }
+
+// Name implements routing.Algorithm.
+func (a *FullyAdaptive) Name() string { return "duato-fa" }
+
+// VCsPerDim returns the total VC requirement per dimension.
+func (a *FullyAdaptive) VCsPerDim(net *topology.Network) []int {
+	out := make([]int, net.Dims())
+	for d := range out {
+		out[d] = 1 + a.AdaptiveVCs
+	}
+	return out
+}
+
+// Candidates implements routing.Algorithm: every productive direction on
+// every adaptive VC, plus the single dimension-order escape hop on VC 1.
+// Adaptive candidates come first so selection policies prefer them; the
+// escape channel remains always available, which is what Duato's theorem
+// requires.
+func (a *FullyAdaptive) Candidates(net *topology.Network, cur topology.NodeID, in *channel.Class, dst topology.NodeID) []channel.Class {
+	offs := net.MinimalOffsets(cur, dst)
+	var out []channel.Class
+	escape := channel.Class{}
+	haveEscape := false
+	for d, off := range offs {
+		if off == 0 {
+			continue
+		}
+		sign := channel.Plus
+		if off < 0 {
+			sign = channel.Minus
+		}
+		if !net.HasLink(cur, channel.Dim(d), sign) {
+			continue
+		}
+		for vc := 2; vc <= 1+a.AdaptiveVCs; vc++ {
+			out = append(out, channel.NewVC(channel.Dim(d), sign, vc))
+		}
+		if !haveEscape {
+			// Dimension-order: the first uncorrected dimension.
+			escape = channel.NewVC(channel.Dim(d), sign, 1)
+			haveEscape = true
+		}
+	}
+	if haveEscape {
+		out = append(out, escape)
+	}
+	return out
+}
+
+// EscapeOnly returns the escape sub-algorithm (dimension-order on VC 1),
+// whose routing relation must be acyclic.
+func (a *FullyAdaptive) EscapeOnly() routing.Algorithm {
+	return &escapeOnly{}
+}
+
+type escapeOnly struct{}
+
+func (e *escapeOnly) Name() string { return "duato-escape" }
+
+func (e *escapeOnly) Candidates(net *topology.Network, cur topology.NodeID, in *channel.Class, dst topology.NodeID) []channel.Class {
+	for d, off := range net.MinimalOffsets(cur, dst) {
+		if off == 0 {
+			continue
+		}
+		sign := channel.Plus
+		if off < 0 {
+			sign = channel.Minus
+		}
+		return []channel.Class{channel.NewVC(channel.Dim(d), sign, 1)}
+	}
+	return nil
+}
+
+// TorusFullyAdaptive is Duato-style fully adaptive routing for k-ary
+// n-cubes: the escape sub-network is dateline dimension-order routing on
+// VCs 1-2 (acyclic even across wraparound links), and VCs 3..2+AdaptiveVCs
+// are fully adaptive. This extends the comparison baseline to the paper's
+// Assumption-3 torus topologies.
+type TorusFullyAdaptive struct {
+	// AdaptiveVCs is the number of adaptive VCs per dimension (>= 1).
+	AdaptiveVCs int
+	escape      routing.Algorithm
+}
+
+// NewTorus returns a torus Duato algorithm with one adaptive VC per
+// dimension (three VCs total per dimension).
+func NewTorus() *TorusFullyAdaptive {
+	return &TorusFullyAdaptive{AdaptiveVCs: 1, escape: routing.NewDatelineTorus()}
+}
+
+// Name implements routing.Algorithm.
+func (a *TorusFullyAdaptive) Name() string { return "duato-torus" }
+
+// VCsPerDim returns the total VC requirement per dimension (2 escape +
+// adaptive).
+func (a *TorusFullyAdaptive) VCsPerDim(net *topology.Network) []int {
+	out := make([]int, net.Dims())
+	for d := range out {
+		out[d] = 2 + a.AdaptiveVCs
+	}
+	return out
+}
+
+// Candidates implements routing.Algorithm: every productive direction on
+// the adaptive VCs plus the dateline escape hop (which carries its own VC
+// 1/2 discipline).
+func (a *TorusFullyAdaptive) Candidates(net *topology.Network, cur topology.NodeID, in *channel.Class, dst topology.NodeID) []channel.Class {
+	var out []channel.Class
+	for d, off := range net.MinimalOffsets(cur, dst) {
+		if off == 0 {
+			continue
+		}
+		sign := channel.Plus
+		if off < 0 {
+			sign = channel.Minus
+		}
+		if !net.HasLink(cur, channel.Dim(d), sign) {
+			continue
+		}
+		for vc := 3; vc <= 2+a.AdaptiveVCs; vc++ {
+			out = append(out, channel.NewVC(channel.Dim(d), sign, vc))
+		}
+	}
+	out = append(out, a.escape.Candidates(net, cur, in, dst)...)
+	return out
+}
+
+// EscapeOnly returns the dateline escape sub-algorithm.
+func (a *TorusFullyAdaptive) EscapeOnly() routing.Algorithm { return a.escape }

@@ -1,0 +1,98 @@
+package duato
+
+import (
+	"testing"
+
+	"ebda/internal/cdg"
+	"ebda/internal/channel"
+	"ebda/internal/routing"
+	"ebda/internal/topology"
+)
+
+func TestCandidatesShape(t *testing.T) {
+	net := topology.NewMesh(5, 5)
+	a := New()
+	src := net.ID(topology.Coord{0, 0})
+	dst := net.ID(topology.Coord{2, 2})
+	cands := a.Candidates(net, src, nil, dst)
+	// Two productive dirs x 1 adaptive VC + 1 escape = 3.
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %v", cands)
+	}
+	// Escape (VC 1) comes last and is the dimension-order hop.
+	esc := cands[len(cands)-1]
+	if esc.VC != 1 || esc.Dim != channel.X || esc.Sign != channel.Plus {
+		t.Errorf("escape = %v, want X+ VC1", esc)
+	}
+	for _, c := range cands[:len(cands)-1] {
+		if c.VC < 2 {
+			t.Errorf("adaptive candidate on escape VC: %v", c)
+		}
+	}
+}
+
+func TestEscapeRelationAcyclic(t *testing.T) {
+	net := topology.NewMesh(5, 5)
+	a := New()
+	rep := routing.Verify(net, cdg.VCConfig(a.VCsPerDim(net)), a.EscapeOnly())
+	if !rep.Acyclic {
+		t.Fatalf("escape sub-network must be acyclic: %s", rep)
+	}
+}
+
+func TestFullRelationCyclic(t *testing.T) {
+	// The defining contrast with EbDa: the complete Duato routing
+	// relation is cyclic (adaptive channels form cycles); only the escape
+	// sub-network is cycle-free.
+	net := topology.NewMesh(5, 5)
+	a := New()
+	rep := routing.Verify(net, cdg.VCConfig(a.VCsPerDim(net)), a)
+	if rep.Acyclic {
+		t.Fatal("full Duato relation should contain cycles")
+	}
+}
+
+func TestDelivery(t *testing.T) {
+	net := topology.NewMesh(5, 5)
+	del := routing.CheckDelivery(net, New(), 64)
+	if !del.OK() {
+		t.Errorf("duato: %s", del)
+	}
+}
+
+func TestTorusEscapeAcyclicFullCyclic(t *testing.T) {
+	tor := topology.NewTorus(5, 5)
+	a := NewTorus()
+	vcs := cdg.VCConfig(a.VCsPerDim(tor))
+	esc := routing.Verify(tor, vcs, a.EscapeOnly())
+	if !esc.Acyclic {
+		t.Fatalf("torus escape must be acyclic: %s", esc)
+	}
+	full := routing.Verify(tor, vcs, a)
+	if full.Acyclic {
+		t.Fatal("full torus Duato relation should be cyclic")
+	}
+}
+
+func TestTorusDelivery(t *testing.T) {
+	tor := topology.NewTorus(5, 5)
+	del := routing.CheckDelivery(tor, NewTorus(), 64)
+	if !del.OK() {
+		t.Errorf("duato-torus: %s", del)
+	}
+}
+
+func TestMoreAdaptiveVCs(t *testing.T) {
+	net := topology.NewMesh(4, 4)
+	a := &FullyAdaptive{AdaptiveVCs: 3}
+	src := net.ID(topology.Coord{0, 0})
+	dst := net.ID(topology.Coord{3, 3})
+	cands := a.Candidates(net, src, nil, dst)
+	if len(cands) != 2*3+1 {
+		t.Errorf("candidates = %d, want 7", len(cands))
+	}
+	vcs := a.VCsPerDim(net)
+	if vcs[0] != 4 || vcs[1] != 4 {
+		t.Errorf("VCsPerDim = %v", vcs)
+	}
+}

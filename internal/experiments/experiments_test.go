@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The full per-experiment assertions live in internal/paper and the root
+// package; here we exercise the harness machinery itself.
+
+func TestAllRunnersHaveDistinctIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range All() {
+		if r.ID == "" || r.Name == "" || r.Run == nil {
+			t.Errorf("incomplete runner %+v", r)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate ID %s", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if len(seen) != 23 {
+		t.Errorf("runners = %d, want 23", len(seen))
+	}
+}
+
+func TestResultString(t *testing.T) {
+	ok := Result{ID: "E01", Name: "x", Paper: "p", Measured: "m", Match: true}
+	if !strings.Contains(ok.String(), "OK") {
+		t.Error("match should render OK")
+	}
+	bad := Result{ID: "E01", Name: "x", Paper: "p", Measured: "m"}
+	if !strings.Contains(bad.String(), "MISMATCH") {
+		t.Error("mismatch should render MISMATCH")
+	}
+}
+
+func TestSweepQuickShape(t *testing.T) {
+	points := Sweep(Options{Quick: true})
+	if len(points) != 7*3 {
+		t.Fatalf("points = %d, want 23", len(points))
+	}
+	algs := map[string]bool{}
+	for _, p := range points {
+		algs[p.Alg] = true
+		if p.Rate <= 0 {
+			t.Errorf("bad rate %f", p.Rate)
+		}
+		if p.Deadlocked {
+			t.Errorf("%s deadlocked at %.2f", p.Alg, p.Rate)
+		}
+	}
+	if len(algs) != 7 {
+		t.Errorf("algorithms = %d, want 7", len(algs))
+	}
+}
+
+func TestSameTurnWords(t *testing.T) {
+	if !sameTurnWords("A B C", "C A B") {
+		t.Error("order must not matter")
+	}
+	if sameTurnWords("A B", "A B C") || sameTurnWords("A B C", "A B") {
+		t.Error("length mismatch must fail")
+	}
+	if sameTurnWords("A B", "A D") {
+		t.Error("different words must fail")
+	}
+}
+
+func TestSearchRejectsSixChannelDesigns(t *testing.T) {
+	// The search bound is exclusive: with maxChannels=7, six-channel
+	// designs are in scope and DyXY is fully adaptive, so the search
+	// must report a fully adaptive design exists.
+	ok, _ := SearchNoFullyAdaptiveBelow(7)
+	if ok {
+		t.Error("search should find the 6-channel fully adaptive design below 7")
+	}
+}
+
+func TestChainFromAssignment(t *testing.T) {
+	chain, err := chainFromAssignment([]string{"X+", "Y+", "X-"}, []int{0, 0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain.Len() != 2 {
+		t.Errorf("partitions = %d", chain.Len())
+	}
+	// Invalid partitions propagate errors.
+	if _, err := chainFromAssignment([]string{"X+", "X-", "Y+", "Y-"}, []int{0, 0, 0, 0}, 1); err == nil {
+		t.Error("Theorem-1 violation should be rejected")
+	}
+}

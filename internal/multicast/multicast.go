@@ -1,0 +1,213 @@
+// Package multicast implements the dual-path Hamiltonian multicast
+// strategy of Lin & Ni that Section 6.2 of the paper derives from EbDa
+// parity partitions: the mesh is ordered along a Hamiltonian snake, the
+// destination set is split into the nodes above and below the source, and
+// two worms visit them in label order — one on the "high" network
+// (ascending labels: Xe+, Xo-, Y+), one on the "low" network (descending:
+// Xe-, Xo+, Y-). Every hop either follows the snake or takes a vertical
+// shortcut, so all turns lie inside the two partitions of
+// paper.HamiltonianChain and the traffic is deadlock-free by Theorems 1-3.
+package multicast
+
+import (
+	"fmt"
+	"sort"
+
+	"ebda/internal/channel"
+	"ebda/internal/topology"
+)
+
+// Hamiltonian orders a 2D mesh along the row-snake Hamiltonian path:
+// row 0 west-to-east, row 1 east-to-west, and so on.
+type Hamiltonian struct {
+	net    *topology.Network
+	labels []int
+	nodes  []topology.NodeID // label -> node
+}
+
+// New builds the Hamiltonian ordering for a 2D mesh.
+func New(net *topology.Network) (*Hamiltonian, error) {
+	if net.Dims() != 2 {
+		return nil, fmt.Errorf("multicast: need a 2D mesh, got %d dimensions", net.Dims())
+	}
+	if net.Wrap(channel.X) || net.Wrap(channel.Y) {
+		return nil, fmt.Errorf("multicast: wraparound not supported")
+	}
+	h := &Hamiltonian{
+		net:    net,
+		labels: make([]int, net.Nodes()),
+		nodes:  make([]topology.NodeID, net.Nodes()),
+	}
+	k := net.Size(channel.X)
+	for id := topology.NodeID(0); int(id) < net.Nodes(); id++ {
+		c := net.Coord(id)
+		label := c[1] * k
+		if c[1]%2 == 0 {
+			label += c[0]
+		} else {
+			label += k - 1 - c[0]
+		}
+		h.labels[id] = label
+		h.nodes[label] = id
+	}
+	return h, nil
+}
+
+// Label returns a node's position on the Hamiltonian path.
+func (h *Hamiltonian) Label(id topology.NodeID) int { return h.labels[id] }
+
+// NodeAt returns the node at a path position.
+func (h *Hamiltonian) NodeAt(label int) topology.NodeID { return h.nodes[label] }
+
+// NextHop returns the neighbor to take from cur toward target on the high
+// (ascending) or low (descending) network: among neighbors whose label
+// lies strictly between cur's (exclusive) and target's (inclusive), the
+// one closest to the target. This is the classic dual-path step; it always
+// progresses because the snake neighbor qualifies.
+func (h *Hamiltonian) NextHop(cur, target topology.NodeID, high bool) (topology.NodeID, error) {
+	lc, lt := h.labels[cur], h.labels[target]
+	if cur == target {
+		return cur, nil
+	}
+	if high && lt < lc || !high && lt > lc {
+		return 0, fmt.Errorf("multicast: target label %d on the wrong side of %d", lt, lc)
+	}
+	best := topology.NodeID(-1)
+	bestLabel := -1
+	for d := 0; d < 2; d++ {
+		for _, sign := range []channel.Sign{channel.Plus, channel.Minus} {
+			v, _, ok := h.net.Neighbor(cur, channel.Dim(d), sign)
+			if !ok {
+				continue
+			}
+			lv := h.labels[v]
+			inRange := (high && lv > lc && lv <= lt) || (!high && lv < lc && lv >= lt)
+			if !inRange {
+				continue
+			}
+			better := best < 0 ||
+				(high && lv > bestLabel) || (!high && lv < bestLabel)
+			if better {
+				best, bestLabel = v, lv
+			}
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("multicast: no progress from label %d toward %d", lc, lt)
+	}
+	return best, nil
+}
+
+// Route is a multicast delivery plan: up to two worm paths (high and low),
+// each a node sequence starting at the source.
+type Route struct {
+	Src topology.NodeID
+	// High visits the destinations with labels above the source in
+	// ascending order; Low the ones below, descending. Either may be
+	// empty.
+	High, Low []topology.NodeID
+}
+
+// Hops returns the total link traversals of the plan.
+func (r Route) Hops() int {
+	hops := 0
+	if len(r.High) > 1 {
+		hops += len(r.High) - 1
+	}
+	if len(r.Low) > 1 {
+		hops += len(r.Low) - 1
+	}
+	return hops
+}
+
+// DualPath plans the delivery of one message from src to every
+// destination: destinations are split by label into the high and low sets
+// and visited in path order by two worms.
+func (h *Hamiltonian) DualPath(src topology.NodeID, dsts []topology.NodeID) (Route, error) {
+	route := Route{Src: src}
+	var high, low []topology.NodeID
+	seen := map[topology.NodeID]bool{src: true}
+	for _, d := range dsts {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		if h.labels[d] > h.labels[src] {
+			high = append(high, d)
+		} else {
+			low = append(low, d)
+		}
+	}
+	sort.Slice(high, func(i, j int) bool { return h.labels[high[i]] < h.labels[high[j]] })
+	sort.Slice(low, func(i, j int) bool { return h.labels[low[i]] > h.labels[low[j]] })
+	var err error
+	route.High, err = h.walk(src, high, true)
+	if err != nil {
+		return route, err
+	}
+	route.Low, err = h.walk(src, low, false)
+	return route, err
+}
+
+// walk traces the worm path visiting the (sorted) destinations in order.
+func (h *Hamiltonian) walk(src topology.NodeID, dsts []topology.NodeID, high bool) ([]topology.NodeID, error) {
+	if len(dsts) == 0 {
+		return nil, nil
+	}
+	path := []topology.NodeID{src}
+	cur := src
+	for _, d := range dsts {
+		for cur != d {
+			next, err := h.NextHop(cur, d, high)
+			if err != nil {
+				return nil, err
+			}
+			path = append(path, next)
+			cur = next
+		}
+	}
+	return path, nil
+}
+
+// PathClasses maps a worm path onto the abstract channel classes of the
+// Hamiltonian partitioning (Xe+/Xo-/Y+ for high, mirrored for low), so
+// callers can check every transition against an extracted turn set.
+func (h *Hamiltonian) PathClasses(path []topology.NodeID) ([]channel.Class, error) {
+	var out []channel.Class
+	for i := 0; i+1 < len(path); i++ {
+		a, b := h.net.Coord(path[i]), h.net.Coord(path[i+1])
+		switch {
+		case b[0] == a[0]+1 && b[1] == a[1]:
+			out = append(out, xClass(a[1], channel.Plus))
+		case b[0] == a[0]-1 && b[1] == a[1]:
+			out = append(out, xClass(a[1], channel.Minus))
+		case b[1] == a[1]+1 && b[0] == a[0]:
+			out = append(out, channel.New(channel.Y, channel.Plus))
+		case b[1] == a[1]-1 && b[0] == a[0]:
+			out = append(out, channel.New(channel.Y, channel.Minus))
+		default:
+			return nil, fmt.Errorf("multicast: non-adjacent path step %v -> %v", a, b)
+		}
+	}
+	return out, nil
+}
+
+// xClass returns the row-parity class of an X hop in row y.
+func xClass(y int, sign channel.Sign) channel.Class {
+	par := channel.Even
+	if y%2 != 0 {
+		par = channel.Odd
+	}
+	return channel.NewParity(channel.X, sign, channel.Y, par)
+}
+
+// UnicastHops returns the total hops of delivering to each destination
+// with separate minimal unicasts — the baseline dual-path multicast is
+// compared against.
+func UnicastHops(net *topology.Network, src topology.NodeID, dsts []topology.NodeID) int {
+	total := 0
+	for _, d := range dsts {
+		total += net.MinimalHops(src, d)
+	}
+	return total
+}

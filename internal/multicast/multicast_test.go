@@ -1,0 +1,225 @@
+package multicast
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ebda/internal/channel"
+	"ebda/internal/paper"
+	"ebda/internal/topology"
+)
+
+func TestLabelsAreASnake(t *testing.T) {
+	net := topology.NewMesh(4, 4)
+	h, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Labels are a bijection and consecutive labels are adjacent nodes.
+	for l := 0; l < net.Nodes(); l++ {
+		if h.Label(h.NodeAt(l)) != l {
+			t.Fatalf("label round trip failed at %d", l)
+		}
+		if l > 0 {
+			a, b := net.Coord(h.NodeAt(l-1)), net.Coord(h.NodeAt(l))
+			if net.MinimalHops(h.NodeAt(l-1), h.NodeAt(l)) != 1 {
+				t.Fatalf("labels %d and %d not adjacent: %v %v", l-1, l, a, b)
+			}
+		}
+	}
+	// Row 0 runs west-to-east, row 1 east-to-west.
+	if h.Label(net.ID(topology.Coord{0, 0})) != 0 || h.Label(net.ID(topology.Coord{3, 0})) != 3 {
+		t.Error("row 0 ordering wrong")
+	}
+	if h.Label(net.ID(topology.Coord{3, 1})) != 4 {
+		t.Error("row 1 should start at its east end")
+	}
+}
+
+func TestNewRejectsBadNetworks(t *testing.T) {
+	if _, err := New(topology.NewMesh(3, 3, 3)); err == nil {
+		t.Error("3D should be rejected")
+	}
+	if _, err := New(topology.NewTorus(4, 4)); err == nil {
+		t.Error("torus should be rejected")
+	}
+}
+
+func TestDualPathVisitsAllDestinations(t *testing.T) {
+	net := topology.NewMesh(5, 5)
+	h, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := net.ID(topology.Coord{2, 2})
+	dsts := []topology.NodeID{
+		net.ID(topology.Coord{0, 0}),
+		net.ID(topology.Coord{4, 4}),
+		net.ID(topology.Coord{4, 0}),
+		net.ID(topology.Coord{0, 4}),
+		net.ID(topology.Coord{1, 3}),
+	}
+	route, err := h.DualPath(src, dsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visited := map[topology.NodeID]bool{}
+	for _, p := range [][]topology.NodeID{route.High, route.Low} {
+		for _, n := range p {
+			visited[n] = true
+		}
+	}
+	for _, d := range dsts {
+		if !visited[d] {
+			t.Errorf("destination %v not visited", net.Coord(d))
+		}
+	}
+	if route.Hops() == 0 {
+		t.Error("no hops")
+	}
+}
+
+func TestDualPathMonotoneLabels(t *testing.T) {
+	net := topology.NewMesh(5, 5)
+	h, _ := New(net)
+	src := net.ID(topology.Coord{2, 2})
+	var dsts []topology.NodeID
+	for id := topology.NodeID(0); int(id) < net.Nodes(); id++ {
+		if id != src {
+			dsts = append(dsts, id)
+		}
+	}
+	route, err := h.DualPath(src, dsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(route.High); i++ {
+		if h.Label(route.High[i]) <= h.Label(route.High[i-1]) {
+			t.Fatal("high path labels must strictly ascend")
+		}
+	}
+	for i := 1; i < len(route.Low); i++ {
+		if h.Label(route.Low[i]) >= h.Label(route.Low[i-1]) {
+			t.Fatal("low path labels must strictly descend")
+		}
+	}
+}
+
+func TestDualPathTurnsComplyWithEbDaPartitioning(t *testing.T) {
+	// Every transition of every dual-path worm must be admitted by the
+	// turn set extracted from the Section 6.2 Hamiltonian partitioning —
+	// the mechanical justification that dual-path multicast traffic is
+	// deadlock-free under Theorems 1-3.
+	net := topology.NewMesh(6, 6)
+	h, _ := New(net)
+	ts := paper.HamiltonianChain().AllTurns()
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		src := topology.NodeID(r.Intn(net.Nodes()))
+		var dsts []topology.NodeID
+		for len(dsts) < 1+r.Intn(6) {
+			d := topology.NodeID(r.Intn(net.Nodes()))
+			if d != src {
+				dsts = append(dsts, d)
+			}
+		}
+		route, err := h.DualPath(src, dsts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range [][]topology.NodeID{route.High, route.Low} {
+			classes, err := h.PathClasses(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i < len(classes); i++ {
+				if !ts.Allows(classes[i-1], classes[i]) {
+					t.Fatalf("turn %s -> %s not admitted by the Hamiltonian partitioning",
+						classes[i-1], classes[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcastBeatsUnicasts(t *testing.T) {
+	net := topology.NewMesh(6, 6)
+	h, _ := New(net)
+	src := net.ID(topology.Coord{0, 0})
+	var dsts []topology.NodeID
+	for id := topology.NodeID(1); int(id) < net.Nodes(); id++ {
+		dsts = append(dsts, id)
+	}
+	route, err := h.DualPath(src, dsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := UnicastHops(net, src, dsts)
+	if route.Hops() >= uni {
+		t.Errorf("broadcast dual-path hops %d should beat %d unicast hops", route.Hops(), uni)
+	}
+	// A broadcast from the path head needs at most ~N-1 hops on the high
+	// path alone.
+	if route.Hops() > net.Nodes() {
+		t.Errorf("broadcast hops %d exceed node count", route.Hops())
+	}
+}
+
+func TestQuickDualPathAlwaysDelivers(t *testing.T) {
+	net := topology.NewMesh(5, 4)
+	h, err := New(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := topology.NodeID(r.Intn(net.Nodes()))
+		var dsts []topology.NodeID
+		for i := 0; i < 1+r.Intn(8); i++ {
+			dsts = append(dsts, topology.NodeID(r.Intn(net.Nodes())))
+		}
+		route, err := h.DualPath(src, dsts)
+		if err != nil {
+			return false
+		}
+		visited := map[topology.NodeID]bool{src: true}
+		for _, p := range [][]topology.NodeID{route.High, route.Low} {
+			for _, n := range p {
+				visited[n] = true
+			}
+		}
+		for _, d := range dsts {
+			if !visited[d] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathClassesParity(t *testing.T) {
+	net := topology.NewMesh(4, 4)
+	h, _ := New(net)
+	// Path east along row 1 (odd): classes must be Xo+.
+	path := []topology.NodeID{
+		net.ID(topology.Coord{0, 1}),
+		net.ID(topology.Coord{1, 1}),
+	}
+	classes, err := h.PathClasses(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := channel.NewParity(channel.X, channel.Plus, channel.Y, channel.Odd)
+	if classes[0] != want {
+		t.Errorf("class = %v, want %v", classes[0], want)
+	}
+	// Non-adjacent steps are rejected.
+	bad := []topology.NodeID{net.ID(topology.Coord{0, 0}), net.ID(topology.Coord{2, 0})}
+	if _, err := h.PathClasses(bad); err == nil {
+		t.Error("non-adjacent step should fail")
+	}
+}

@@ -1,0 +1,420 @@
+package paper
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"ebda/internal/cdg"
+	"ebda/internal/channel"
+	"ebda/internal/core"
+	"ebda/internal/partstrat"
+	"ebda/internal/topology"
+)
+
+// AbstractCycleCount returns the number of abstract cycles turn-model
+// verification must consider in an n-dimensional network with vcs virtual
+// channels per dimension: every ordered plane pair contributes a clockwise
+// and a counterclockwise cycle for each VC choice on its two dimensions —
+// n(n-1) * vcs^2. For n=2, vcs=1 this is 2; for n=2, vcs=2 it is 8; for
+// n=3, vcs=1 it is 6 (Section 2's 4^2, 4^8 and 4^6 exponents).
+func AbstractCycleCount(n, vcs int) int {
+	return n * (n - 1) * vcs * vcs
+}
+
+// TurnModelCombinations returns 4^cycles: the number of one-turn-per-cycle
+// removal combinations turn-model verification must examine (each abstract
+// cycle has four 90-degree turns, one of which is prohibited).
+func TurnModelCombinations(cycles int) *big.Int {
+	return new(big.Int).Exp(big.NewInt(4), big.NewInt(int64(cycles)), nil)
+}
+
+// Section2Claim records one of the paper's Section-2 search-space figures
+// alongside the value our formula reproduces.
+type Section2Claim struct {
+	Setting    string
+	Cycles     int
+	Combos     *big.Int
+	PaperText  string
+	Consistent bool
+	Notes      string
+}
+
+// Section2Claims reproduces the four search-space figures of Section 2.
+// The paper's "29,696" for the 3D no-VC case disagrees with its own
+// parenthetical 4^6 = 4,096; we reproduce the formula value and flag the
+// discrepancy.
+func Section2Claims() []Section2Claim {
+	mk := func(setting string, n, vcs int, paperText string, consistent bool, notes string) Section2Claim {
+		cycles := AbstractCycleCount(n, vcs)
+		return Section2Claim{
+			Setting: setting, Cycles: cycles,
+			Combos:    TurnModelCombinations(cycles),
+			PaperText: paperText, Consistent: consistent, Notes: notes,
+		}
+	}
+	return []Section2Claim{
+		mk("2D, no VC", 2, 1, "16 (4^2)", true, ""),
+		mk("2D, one VC added per dimension", 2, 2, "65,536 (4^8)", true, ""),
+		mk("3D, no VC", 3, 1, "29,696 (4^6)", false,
+			"4^6 = 4,096; the paper's 29,696 disagrees with its own exponent"),
+		mk("3D, one VC added per dimension", 3, 2, "more than 8 billion", true,
+			"4^24 = 2.8e14, which is indeed more than 8 billion"),
+	}
+}
+
+// TurnRemoval describes one combination of the classic 2D turn-model
+// search: removing one turn from the clockwise and one from the
+// counterclockwise abstract cycle.
+type TurnRemoval struct {
+	// RemovedCW and RemovedCCW are the prohibited turns.
+	RemovedCW, RemovedCCW core.Turn
+	// DeadlockFree records whether the remaining six turns induce an
+	// acyclic channel dependency graph.
+	DeadlockFree bool
+	// SymmetryClass groups deadlock-free combinations equivalent under
+	// the symmetries of the square; -1 for combinations with cycles.
+	SymmetryClass int
+}
+
+// cwTurns and ccwTurns are the four 90-degree turns of the two abstract
+// cycles in a 2D network.
+func cwTurns() []core.Turn {
+	e, w := channel.New(channel.X, channel.Plus), channel.New(channel.X, channel.Minus)
+	n, s := channel.New(channel.Y, channel.Plus), channel.New(channel.Y, channel.Minus)
+	return []core.Turn{{From: e, To: s}, {From: s, To: w}, {From: w, To: n}, {From: n, To: e}}
+}
+
+func ccwTurns() []core.Turn {
+	e, w := channel.New(channel.X, channel.Plus), channel.New(channel.X, channel.Minus)
+	n, s := channel.New(channel.Y, channel.Plus), channel.New(channel.Y, channel.Minus)
+	return []core.Turn{{From: e, To: n}, {From: n, To: w}, {From: w, To: s}, {From: s, To: e}}
+}
+
+// TurnModelSearch brute-forces all 16 combinations of removing one turn
+// from each abstract cycle of a 2D network and verifies each remaining
+// six-turn set on the given mesh through the channel dependency graph.
+// The paper (citing Glass & Ni) states 12 of the 16 are deadlock-free and
+// 3 are unique up to symmetry.
+func TurnModelSearch(mesh *topology.Network) []TurnRemoval {
+	cw, ccw := cwTurns(), ccwTurns()
+	var out []TurnRemoval
+	for _, rc := range cw {
+		for _, rcc := range ccw {
+			ts := core.NewTurnSet()
+			for _, t := range cw {
+				if t != rc {
+					ts.Add(t.From, t.To, core.ByTheorem1)
+				}
+			}
+			for _, t := range ccw {
+				if t != rcc {
+					ts.Add(t.From, t.To, core.ByTheorem1)
+				}
+			}
+			rep := cdg.VerifyTurnSet(mesh, nil, ts)
+			out = append(out, TurnRemoval{
+				RemovedCW: rc, RemovedCCW: rcc,
+				DeadlockFree:  rep.Acyclic,
+				SymmetryClass: -1,
+			})
+		}
+	}
+	assignSymmetryClasses(out)
+	return out
+}
+
+// assignSymmetryClasses groups the deadlock-free removals under the eight
+// symmetries of the square acting on direction labels.
+func assignSymmetryClasses(rs []TurnRemoval) {
+	type key [4]channel.Class
+	canon := func(r TurnRemoval, sym func(channel.Class) channel.Class) key {
+		a := [4]channel.Class{
+			sym(r.RemovedCW.From), sym(r.RemovedCW.To),
+			sym(r.RemovedCCW.From), sym(r.RemovedCCW.To),
+		}
+		// A symmetry that swaps orientation (reflection) turns the CW
+		// cycle into the CCW cycle; normalise by ordering the two
+		// removed turns canonically.
+		first := [2]channel.Class{a[0], a[1]}
+		second := [2]channel.Class{a[2], a[3]}
+		if cmpPair(first, second) > 0 {
+			first, second = second, first
+		}
+		return key{first[0], first[1], second[0], second[1]}
+	}
+	syms := squareSymmetries()
+	classOf := map[key]int{}
+	next := 0
+	for i := range rs {
+		if !rs[i].DeadlockFree {
+			continue
+		}
+		// The class of a removal is the minimum canonical key over all
+		// symmetries.
+		best := canon(rs[i], syms[0])
+		for _, s := range syms[1:] {
+			k := canon(rs[i], s)
+			if cmpKey(k, best) < 0 {
+				best = k
+			}
+		}
+		id, ok := classOf[best]
+		if !ok {
+			id = next
+			next++
+			classOf[best] = id
+		}
+		rs[i].SymmetryClass = id
+	}
+}
+
+func cmpPair(a, b [2]channel.Class) int {
+	if c := a[0].Compare(b[0]); c != 0 {
+		return c
+	}
+	return a[1].Compare(b[1])
+}
+
+func cmpKey(a, b [4]channel.Class) int {
+	for i := range a {
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// squareSymmetries returns the eight direction permutations of the
+// dihedral group of the square, as maps on channel classes.
+func squareSymmetries() []func(channel.Class) channel.Class {
+	// Represent a direction as (dim, sign); the group is generated by a
+	// 90-degree rotation and a reflection across the X axis.
+	rotate := func(c channel.Class) channel.Class {
+		// E->N, N->W, W->S, S->E.
+		switch {
+		case c.Dim == channel.X && c.Sign == channel.Plus:
+			return channel.New(channel.Y, channel.Plus)
+		case c.Dim == channel.Y && c.Sign == channel.Plus:
+			return channel.New(channel.X, channel.Minus)
+		case c.Dim == channel.X && c.Sign == channel.Minus:
+			return channel.New(channel.Y, channel.Minus)
+		default:
+			return channel.New(channel.X, channel.Plus)
+		}
+	}
+	reflect := func(c channel.Class) channel.Class {
+		if c.Dim == channel.Y {
+			return c.Opposite()
+		}
+		return c
+	}
+	id := func(c channel.Class) channel.Class { return c }
+	compose := func(f, g func(channel.Class) channel.Class) func(channel.Class) channel.Class {
+		return func(c channel.Class) channel.Class { return f(g(c)) }
+	}
+	r1 := rotate
+	r2 := compose(rotate, r1)
+	r3 := compose(rotate, r2)
+	return []func(channel.Class) channel.Class{
+		id, r1, r2, r3,
+		reflect, compose(reflect, r1), compose(reflect, r2), compose(reflect, r3),
+	}
+}
+
+// cycleTurns returns the four 90-degree turns of one abstract cycle in
+// the (a, b) plane: clockwise walks a+, b-, a-, b+ when cw, the mirror
+// otherwise.
+func cycleTurns(a, b channel.Dim, cw bool) []core.Turn {
+	ap, am := channel.New(a, channel.Plus), channel.New(a, channel.Minus)
+	bp, bm := channel.New(b, channel.Plus), channel.New(b, channel.Minus)
+	if cw {
+		return []core.Turn{{From: ap, To: bm}, {From: bm, To: am}, {From: am, To: bp}, {From: bp, To: ap}}
+	}
+	return []core.Turn{{From: ap, To: bp}, {From: bp, To: am}, {From: am, To: bm}, {From: bm, To: ap}}
+}
+
+// Search3DResult summarises the exhaustive 3D turn-model search.
+type Search3DResult struct {
+	Combinations int
+	DeadlockFree int
+	// Classes is the number of equivalence classes among the
+	// deadlock-free combinations under the 48 signed-permutation
+	// symmetries of the cube.
+	Classes int
+}
+
+// TurnModelSearch3D brute-forces the Section-2 search the paper sizes at
+// 4^6 = 4,096 combinations: a 3D network has six abstract cycles (two per
+// plane), one turn is removed from each, and the remaining 18-turn set is
+// checked through the channel dependency graph. The paper's point is that
+// this is the last feasible size (adding one VC per dimension explodes to
+// 4^24); our CDG checker sweeps it in seconds and reports how many of the
+// 4,096 removals are actually deadlock-free — a figure the paper does not
+// state.
+func TurnModelSearch3D(mesh *topology.Network) Search3DResult {
+	cycles := [][]core.Turn{
+		cycleTurns(channel.X, channel.Y, true), cycleTurns(channel.X, channel.Y, false),
+		cycleTurns(channel.X, channel.Z, true), cycleTurns(channel.X, channel.Z, false),
+		cycleTurns(channel.Y, channel.Z, true), cycleTurns(channel.Y, channel.Z, false),
+	}
+	res := Search3DResult{}
+	removal := make([]int, len(cycles))
+	type combo = [6]int
+	var freeCombos []combo
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(cycles) {
+			res.Combinations++
+			ts := core.NewTurnSet()
+			for ci, cyc := range cycles {
+				for ti, t := range cyc {
+					if ti != removal[ci] {
+						ts.Add(t.From, t.To, core.ByTheorem1)
+					}
+				}
+			}
+			if cdg.VerifyTurnSet(mesh, nil, ts).Acyclic {
+				res.DeadlockFree++
+				var c combo
+				copy(c[:], removal)
+				freeCombos = append(freeCombos, c)
+			}
+			return
+		}
+		for removal[i] = 0; removal[i] < 4; removal[i]++ {
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	res.Classes = count3DSymmetryClasses(cycles, freeCombos)
+	return res
+}
+
+// count3DSymmetryClasses groups deadlock-free removals under the 48 cube
+// symmetries (signed axis permutations) acting on direction labels.
+func count3DSymmetryClasses(cycles [][]core.Turn, combos [][6]int) int {
+	syms := cubeSymmetries()
+	// A combination is canonicalised by mapping its removed-turn set
+	// through each symmetry and taking the lexicographically smallest
+	// sorted key.
+	turnKey := func(t core.Turn) string { return t.From.String() + ">" + t.To.String() }
+	canon := func(c [6]int) string {
+		best := ""
+		for _, sym := range syms {
+			keys := make([]string, 0, 6)
+			for ci, cyc := range cycles {
+				t := cyc[c[ci]]
+				keys = append(keys, turnKey(core.Turn{From: sym(t.From), To: sym(t.To)}))
+			}
+			sort.Strings(keys)
+			k := strings.Join(keys, ",")
+			if best == "" || k < best {
+				best = k
+			}
+		}
+		return best
+	}
+	classes := map[string]bool{}
+	for _, c := range combos {
+		classes[canon(c)] = true
+	}
+	return len(classes)
+}
+
+// cubeSymmetries returns the 48 signed permutations of the three axes as
+// maps on channel classes.
+func cubeSymmetries() []func(channel.Class) channel.Class {
+	perms := [][3]channel.Dim{
+		{channel.X, channel.Y, channel.Z}, {channel.X, channel.Z, channel.Y},
+		{channel.Y, channel.X, channel.Z}, {channel.Y, channel.Z, channel.X},
+		{channel.Z, channel.X, channel.Y}, {channel.Z, channel.Y, channel.X},
+	}
+	var out []func(channel.Class) channel.Class
+	for _, p := range perms {
+		p := p
+		for mask := 0; mask < 8; mask++ {
+			mask := mask
+			out = append(out, func(c channel.Class) channel.Class {
+				nd := p[c.Dim]
+				sign := c.Sign
+				if mask&(1<<uint(c.Dim)) != 0 {
+					sign = sign.Opposite()
+				}
+				nc := c
+				nc.Dim = nd
+				nc.Sign = sign
+				return nc
+			})
+		}
+	}
+	return out
+}
+
+// CountDeadlockFree summarises a TurnModelSearch result: the number of
+// deadlock-free combinations and the number of symmetry classes among
+// them.
+func CountDeadlockFree(rs []TurnRemoval) (free, classes int) {
+	seen := map[int]bool{}
+	for _, r := range rs {
+		if r.DeadlockFree {
+			free++
+			seen[r.SymmetryClass] = true
+		}
+	}
+	return free, len(seen)
+}
+
+// Section5Arrangement is the worked example of Section 5: a 3D network
+// with 3, 2 and 3 VCs along X, Y and Z. The Z set leads (tied with X at
+// three pairs); the Y set is pre-ordered Y1+, Y2+, Y1-, Y2- so consecutive
+// partitions cover neighbouring regions, exactly as the paper chooses.
+func Section5Arrangement() partstrat.Arrangement {
+	setZ := partstrat.PairedSet(channel.Z, 3)
+	setX := partstrat.PairedSet(channel.X, 3)
+	setY := partstrat.MustSet(channel.Y,
+		channel.NewVC(channel.Y, channel.Plus, 1),
+		channel.NewVC(channel.Y, channel.Plus, 2),
+		channel.NewVC(channel.Y, channel.Minus, 1),
+		channel.NewVC(channel.Y, channel.Minus, 2),
+	)
+	return partstrat.Arrangement{setZ, setX, setY}
+}
+
+// Section5Expected is the partitioning the worked example arrives at
+// (identical to Figure 9(c)).
+const Section5Expected = "PA[Z1+ Z1- X1+ Y1+] -> PB[Z2+ Z2- X1- Y2+] -> PC[X2+ X2- Z3+ Y1-] -> PD[X3+ X3- Z3- Y2-]"
+
+// Section5Run executes Algorithm 1 on the worked-example arrangement.
+func Section5Run() (*core.Chain, error) {
+	return Section5Arrangement().Partition()
+}
+
+// MinChannelClaim records the formula value N = (n+1) * 2^(n-1) for one
+// dimension count.
+type MinChannelClaim struct {
+	N        int
+	Channels int
+}
+
+// MinChannelClaims tabulates the Section-4 minimum-channel formula for
+// n = 1..maxN and cross-checks it against the constructive design of
+// partstrat.MinFullyAdaptiveChain.
+func MinChannelClaims(maxN int) ([]MinChannelClaim, error) {
+	var out []MinChannelClaim
+	for n := 1; n <= maxN; n++ {
+		want := core.MinChannelsFullyAdaptive(n)
+		if n <= 8 {
+			chain, err := partstrat.MinFullyAdaptiveChain(n)
+			if err != nil {
+				return nil, err
+			}
+			if got := len(chain.Channels()); got != want {
+				return nil, fmt.Errorf("paper: constructive design for n=%d has %d channels, formula says %d", n, got, want)
+			}
+		}
+		out = append(out, MinChannelClaim{N: n, Channels: want})
+	}
+	return out, nil
+}

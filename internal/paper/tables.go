@@ -1,0 +1,247 @@
+package paper
+
+import (
+	"ebda/internal/channel"
+	"ebda/internal/core"
+	"ebda/internal/partstrat"
+)
+
+// Table1Expected lists the 12 partitioning options of Table 1 (maximum
+// adaptiveness in a 2D network with four channels), row by row in the
+// paper's layout (three columns per row).
+var Table1Expected = []string{
+	"PA[X+ X- Y+] -> PB[Y-]", "PA[Y+ Y- X+] -> PB[X-]", "PA[X+ Y+] -> PB[X- Y-]",
+	"PA[X+ X- Y-] -> PB[Y+]", "PA[Y+ Y- X-] -> PB[X+]", "PA[X+ Y-] -> PB[X- Y+]",
+	"PA[Y-] -> PB[X+ X- Y+]", "PA[X-] -> PB[Y+ Y- X+]", "PA[X- Y-] -> PB[X+ Y+]",
+	"PA[Y+] -> PB[X+ X- Y-]", "PA[X+] -> PB[Y+ Y- X-]", "PA[X- Y+] -> PB[X+ Y-]",
+}
+
+// Table1 generates the 12 maximum-adaptiveness partitioning options of
+// Table 1 from the Section-5 methodology:
+//
+//   - columns 1-2: Algorithm 2 (Derive) over Arrangement 1 with X leading
+//     and over Arrangement 2 with Y leading (rows 1-2), plus the reversed
+//     transition orders (rows 3-4, Section 5.3.3);
+//   - column 3: the four options of the no-VC exceptional case
+//     (Section 5.2.2).
+//
+// The result is ordered to match Table1Expected.
+func Table1() ([]*core.Chain, error) {
+	setX := partstrat.PairedSet(channel.X, 1)
+	setY := partstrat.PairedSet(channel.Y, 1)
+
+	colXLead, err := partstrat.Derive(partstrat.Arrangement{setX, setY})
+	if err != nil {
+		return nil, err
+	}
+	colYLead, err := partstrat.Derive(partstrat.Arrangement{setY, setX})
+	if err != nil {
+		return nil, err
+	}
+	exc := partstrat.ExceptionalCase(2)
+	// ExceptionalCase emits masks 00,01,10,11 =
+	// (X+Y+ -> X-Y-), (X-Y+ -> X+Y-), (X+Y- -> X-Y+), (X-Y- -> X+Y+);
+	// Table 1's column order is 00, 10, 11, 01.
+	excOrdered := []*core.Chain{exc[0], exc[2], exc[3], exc[1]}
+
+	var out []*core.Chain
+	for row := 0; row < 2; row++ {
+		out = append(out, colXLead[row], colYLead[row], excOrdered[row])
+	}
+	for row := 0; row < 2; row++ {
+		out = append(out, renamed(colXLead[row].Reversed()), renamed(colYLead[row].Reversed()), excOrdered[row+2])
+	}
+	return out, nil
+}
+
+// renamed relabels a chain's partitions PA, PB, ... in order (used after
+// Reversed, which keeps original names).
+func renamed(c *core.Chain) *core.Chain {
+	parts := c.Partitions()
+	out := make([]*core.Partition, len(parts))
+	for i, p := range parts {
+		out[i] = p.WithName("P" + string(rune('A'+i)))
+	}
+	return core.MustChain(out...)
+}
+
+// Table2Expected lists the four three-partition options of Table 2
+// (intermediate adaptiveness).
+var Table2Expected = []string{
+	"PA[X+ Y+] -> PB[X-] -> PC[Y-]",
+	"PA[X+ Y-] -> PB[X-] -> PC[Y+]",
+	"PA[X- Y+] -> PB[X+] -> PC[Y-]",
+	"PA[X- Y-] -> PB[X+] -> PC[Y+]",
+}
+
+// Table2 generates the four options of Table 2 by splitting the trailing
+// partition of each exceptional-case option into singletons
+// (Section 5.3.2). Ordered to match Table2Expected.
+func Table2() []*core.Chain {
+	exc := partstrat.ExceptionalCase(2) // masks 00, 01(X-), 10(Y-), 11
+	ordered := []*core.Chain{exc[0], exc[2], exc[1], exc[3]}
+	out := make([]*core.Chain, len(ordered))
+	for i, c := range ordered {
+		out[i] = partstrat.SplitLast(c)
+	}
+	return out
+}
+
+// Table3Expected lists the six deterministic-routing options of Table 3.
+var Table3Expected = []string{
+	"PA[X+] -> PB[Y+] -> PC[X-] -> PD[Y-]",
+	"PA[X+] -> PB[Y-] -> PC[X-] -> PD[Y+]",
+	"PA[X-] -> PB[Y+] -> PC[X+] -> PD[Y-]",
+	"PA[X-] -> PB[Y-] -> PC[X+] -> PD[Y+]",
+	"PA[X+] -> PB[X-] -> PC[Y+] -> PD[Y-]",
+	"PA[Y+] -> PB[Y-] -> PC[X+] -> PD[X-]",
+}
+
+// Table3 generates the six deterministic options of Table 3 by fully
+// splitting the exceptional-case options (rows 1-4) and the two Algorithm-1
+// options with X and Y leading (rows 5-6). Ordered to match Table3Expected.
+func Table3() ([]*core.Chain, error) {
+	exc := partstrat.ExceptionalCase(2)
+	ordered := []*core.Chain{exc[0], exc[2], exc[1], exc[3]}
+	var out []*core.Chain
+	for _, c := range ordered {
+		out = append(out, partstrat.FullSplit(c))
+	}
+	xLead, err := partstrat.Arrangement{partstrat.PairedSet(channel.X, 1), partstrat.PairedSet(channel.Y, 1)}.Partition()
+	if err != nil {
+		return nil, err
+	}
+	yLead, err := partstrat.Arrangement{partstrat.PairedSet(channel.Y, 1), partstrat.PairedSet(channel.X, 1)}.Partition()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, partstrat.FullSplit(xLead), partstrat.FullSplit(yLead))
+	return out, nil
+}
+
+// Table4Chain is the Odd-Even partitioning of Section 6.2:
+// PA = {X- Ye*} and PB = {X+ Yo*}, where Ye/Yo are the Y channels in even
+// and odd columns.
+func Table4Chain() *core.Chain {
+	pa := core.MustPartition("PA",
+		channel.New(channel.X, channel.Minus),
+		channel.NewParity(channel.Y, channel.Plus, channel.X, channel.Even),
+		channel.NewParity(channel.Y, channel.Minus, channel.X, channel.Even),
+	)
+	pb := core.MustPartition("PB",
+		channel.New(channel.X, channel.Plus),
+		channel.NewParity(channel.Y, channel.Plus, channel.X, channel.Odd),
+		channel.NewParity(channel.Y, channel.Minus, channel.X, channel.Odd),
+	)
+	return core.MustChain(pa, pb)
+}
+
+// Table4Row is one row of Table 4 (allowable turns in Odd-Even).
+type Table4Row struct {
+	Label   string
+	Turns90 string
+	UITurns string
+	Notes   string
+}
+
+// Table4Expected reproduces Table 4. Endpoints use ShortPlain notation with
+// parity subscripts (Ne, So). The transition row's Ne/No combinations are
+// the turns the paper highlights as allowable but unusable in a mesh (even
+// and odd columns are not adjacent for Y channels); our extraction also
+// admits the safe W->E U-turn, which the paper's table omits (recorded in
+// Notes).
+func Table4Expected() []Table4Row {
+	return []Table4Row{
+		{Label: "in PA", Turns90: "WNe WSe NeW SeW", UITurns: "NeSe"},
+		{Label: "in PB", Turns90: "ENo ESo NoE SoE", UITurns: "NoSo"},
+		{Label: "PA->PB", Turns90: "WNo WSo NeE SeE",
+			UITurns: "NeNo NeSo SeNo SeSo",
+			Notes:   "extraction additionally admits the safe U-turn WE, omitted by the paper's table"},
+	}
+}
+
+// FormatClassForDesign renders a class in the paper's table notation: the
+// compass letter, with the VC number appended only when the design uses
+// more than one VC in that dimension (Table 5 writes E, W, U, D but N1, N2,
+// S1, S2 because only Y has two VCs).
+func FormatClassForDesign(c channel.Class, vcs []int) string {
+	multi := int(c.Dim) < len(vcs) && vcs[c.Dim] > 1
+	if multi {
+		return c.Short()
+	}
+	return c.ShortPlain()
+}
+
+// FormatTurnForDesign renders a turn with FormatClassForDesign endpoints.
+func FormatTurnForDesign(t core.Turn, vcs []int) string {
+	return FormatClassForDesign(t.From, vcs) + FormatClassForDesign(t.To, vcs)
+}
+
+// Table5Chain is the partially-connected-3D partitioning of Section 6.3:
+// P = {PA[X1+ Y1* Z1+]; PB[X1- Y2* Z1-]} using 1, 2, 1 VCs along X, Y, Z.
+func Table5Chain() *core.Chain {
+	return core.MustParseChain("PA[X1+ Y1* Z1+] -> PB[X1- Y2* Z1-]")
+}
+
+// Table5Row is one row of Table 5.
+type Table5Row struct {
+	Label   string
+	Turns90 string
+}
+
+// Table5Expected reproduces the thirty 90-degree turns of Table 5.
+func Table5Expected() []Table5Row {
+	return []Table5Row{
+		{Label: "in PA", Turns90: "EN1 ES1 EU N1E N1U S1E S1U UE UN1 US1"},
+		{Label: "in PB", Turns90: "WN2 WS2 WD N2W N2D S2W S2D DW DN2 DS2"},
+		{Label: "PA->PB", Turns90: "EN2 ES2 ED N1W N1D S1W S1D UW UN2 US2"},
+	}
+}
+
+// Table5TransitionUITurns lists the six U- and I-turns the paper reports
+// alongside Table 5 (the Theorem-3 transition turns; Theorem 2 additionally
+// admits the intra-partition U-turns N1S1 and N2S2).
+const Table5TransitionUITurns = "EW N1N2 N1S2 S1N2 S1S2 UD"
+
+// ElevatorFirstTurns lists the sixteen turns of the baseline Elevator-First
+// routing algorithm (2, 2, 1 VCs along X, Y, Z) as given in Section 6.3.
+const ElevatorFirstTurns = "E1N1 E1S1 W1N1 W1S1 N1U N1D S1U S1D UE2 UW2 DE2 DW2 E2N2 E2S2 W2N2 W2S2"
+
+// HamiltonianChain is the Section 6.2 partitioning that covers the
+// Hamiltonian-path strategy: PA = {Xe+ Xo- Y+} and PB = {Xe- Xo+ Y-},
+// where Xe/Xo are the X channels in even and odd rows.
+func HamiltonianChain() *core.Chain {
+	pa := core.MustPartition("PA",
+		channel.NewParity(channel.X, channel.Plus, channel.Y, channel.Even),
+		channel.NewParity(channel.X, channel.Minus, channel.Y, channel.Odd),
+		channel.New(channel.Y, channel.Plus),
+	)
+	pb := core.MustPartition("PB",
+		channel.NewParity(channel.X, channel.Minus, channel.Y, channel.Even),
+		channel.NewParity(channel.X, channel.Plus, channel.Y, channel.Odd),
+		channel.New(channel.Y, channel.Minus),
+	)
+	return core.MustChain(pa, pb)
+}
+
+// HamiltonianPathTurns lists the eight 90-degree turns of the classic
+// dual-Hamiltonian-path strategy (channels traced row by row): in even rows
+// packets move east and may turn north/south into the next row; in odd rows
+// they move west likewise. The twelve turns extracted from HamiltonianChain
+// must include all eight.
+func HamiltonianPathTurns() []core.Turn {
+	mk := func(from, to channel.Class) core.Turn { return core.Turn{From: from, To: to} }
+	xe := channel.NewParity(channel.X, channel.Plus, channel.Y, channel.Even)
+	xo := channel.NewParity(channel.X, channel.Minus, channel.Y, channel.Odd)
+	xeR := channel.NewParity(channel.X, channel.Minus, channel.Y, channel.Even)
+	xoR := channel.NewParity(channel.X, channel.Plus, channel.Y, channel.Odd)
+	yp := channel.New(channel.Y, channel.Plus)
+	ym := channel.New(channel.Y, channel.Minus)
+	return []core.Turn{
+		// Forward network (PA): east in even rows, west in odd rows,
+		// stepping north.
+		mk(xe, yp), mk(yp, xo), mk(xo, yp), mk(yp, xe),
+		// Backward network (PB): the mirrored turns stepping south.
+		mk(xeR, ym), mk(ym, xoR), mk(xoR, ym), mk(ym, xeR),
+	}
+}

@@ -1,0 +1,380 @@
+package partstrat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ebda/internal/cdg"
+	"ebda/internal/channel"
+	"ebda/internal/core"
+	"ebda/internal/topology"
+)
+
+func TestPairedSet(t *testing.T) {
+	s := PairedSet(channel.Y, 2)
+	want := channel.MustParseList("Y1+ Y1- Y2+ Y2-")
+	if len(s.Channels) != 4 {
+		t.Fatalf("len = %d", len(s.Channels))
+	}
+	for i, c := range s.Channels {
+		if c != want[i] {
+			t.Errorf("channel %d = %v, want %v", i, c, want[i])
+		}
+	}
+	if s.PairCount() != 2 {
+		t.Errorf("PairCount = %d", s.PairCount())
+	}
+}
+
+func TestPairCountUnbalanced(t *testing.T) {
+	s := MustSet(channel.X, channel.MustParseList("X1- X2+ X2- X3+ X3-")...)
+	if s.PairCount() != 2 {
+		t.Errorf("PairCount = %d, want 2 (min(2 pos, 3 neg))", s.PairCount())
+	}
+	neg := MustSet(channel.Y, channel.MustParseList("Y1- Y2-")...)
+	if neg.PairCount() != 0 {
+		t.Errorf("all-negative set PairCount = %d, want 0", neg.PairCount())
+	}
+}
+
+func TestNewSetRejectsWrongDim(t *testing.T) {
+	if _, err := NewSet(channel.X, channel.New(channel.Y, channel.Plus)); err == nil {
+		t.Error("wrong-dimension channel should be rejected")
+	}
+}
+
+func TestArrangeByPairs(t *testing.T) {
+	x := PairedSet(channel.X, 1)
+	y := PairedSet(channel.Y, 3)
+	z := PairedSet(channel.Z, 2)
+	a := ArrangeByPairs(x, y, z)
+	if a[0].Dim != channel.Y || a[1].Dim != channel.Z || a[2].Dim != channel.X {
+		t.Errorf("order = %v %v %v", a[0].Dim, a[1].Dim, a[2].Dim)
+	}
+	// Stability on ties: caller order kept.
+	b := ArrangeByPairs(PairedSet(channel.Z, 2), PairedSet(channel.X, 2))
+	if b[0].Dim != channel.Z {
+		t.Error("stable sort should keep Z first on tie")
+	}
+}
+
+func TestAlgorithm1Simple2D(t *testing.T) {
+	a := Arrangement{PairedSet(channel.X, 1), PairedSet(channel.Y, 1)}
+	chain, err := a.Partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := chain.PlainString(); got != "PA[X+ X- Y+] -> PB[Y-]" {
+		t.Errorf("chain = %s", got)
+	}
+}
+
+func TestAlgorithm1ProducesValidChains(t *testing.T) {
+	for _, vcs := range [][]int{{1, 1}, {2, 2}, {1, 2}, {3, 2, 3}, {2, 2, 4}, {1, 1, 1, 1}} {
+		a := ArrangementFor(vcs)
+		chain, err := a.Partition()
+		if err != nil {
+			t.Fatalf("vcs %v: %v", vcs, err)
+		}
+		// All channels consumed exactly once.
+		total := 0
+		for _, v := range vcs {
+			total += 2 * v
+		}
+		if got := len(chain.Channels()); got != total {
+			t.Errorf("vcs %v: chain has %d channels, want %d", vcs, got, total)
+		}
+	}
+}
+
+func TestDerive2DOptions(t *testing.T) {
+	chains, err := Derive(Arrangement{PairedSet(channel.X, 1), PairedSet(channel.Y, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != 2 {
+		t.Fatalf("options = %d, want 2", len(chains))
+	}
+	want := []string{"PA[X+ X- Y+] -> PB[Y-]", "PA[X+ X- Y-] -> PB[Y+]"}
+	for i, c := range chains {
+		if c.PlainString() != want[i] {
+			t.Errorf("option %d = %s, want %s", i, c.PlainString(), want[i])
+		}
+	}
+}
+
+func TestExceptionalCase(t *testing.T) {
+	chains := ExceptionalCase(2)
+	if len(chains) != 4 {
+		t.Fatalf("2D exceptional options = %d, want 4", len(chains))
+	}
+	seen := map[string]bool{}
+	for _, c := range chains {
+		seen[c.PlainString()] = true
+		// No partition covers a complete pair.
+		for _, p := range c.Partitions() {
+			if len(p.CompletePairDims()) != 0 {
+				t.Errorf("%s: exceptional partition covers a pair", c.PlainString())
+			}
+		}
+	}
+	for _, want := range []string{
+		"PA[X+ Y+] -> PB[X- Y-]",
+		"PA[X+ Y-] -> PB[X- Y+]",
+		"PA[X- Y+] -> PB[X+ Y-]",
+		"PA[X- Y-] -> PB[X+ Y+]",
+	} {
+		if !seen[want] {
+			t.Errorf("missing option %s", want)
+		}
+	}
+	if len(ExceptionalCase(3)) != 8 {
+		t.Error("3D exceptional options should be 8")
+	}
+}
+
+func TestSplitLastAndFullSplit(t *testing.T) {
+	c := core.MustParseChain("PA[X+ Y+] -> PB[X- Y-]")
+	s := SplitLast(c)
+	if got := s.PlainString(); got != "PA[X+ Y+] -> PB[X-] -> PC[Y-]" {
+		t.Errorf("SplitLast = %s", got)
+	}
+	f := FullSplit(c)
+	if got := f.PlainString(); got != "PA[X+] -> PB[Y+] -> PC[X-] -> PD[Y-]" {
+		t.Errorf("FullSplit = %s", got)
+	}
+}
+
+func TestMinFullyAdaptiveChain2D(t *testing.T) {
+	chain, err := MinFullyAdaptiveChain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 7(b): PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-].
+	if got := chain.String(); got != "PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]" {
+		t.Errorf("chain = %s", got)
+	}
+}
+
+func TestMinFullyAdaptiveChainProperties(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		chain, err := MinFullyAdaptiveChain(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(chain.Channels()), core.MinChannelsFullyAdaptive(n); got != want {
+			t.Errorf("n=%d: %d channels, want %d", n, got, want)
+		}
+		if got, want := chain.Len(), 1<<uint(n-1); got != want && n > 1 {
+			t.Errorf("n=%d: %d partitions, want %d", n, got, want)
+		}
+		// Each partition has n+1 channels with exactly one complete pair
+		// (the last dimension's).
+		for _, p := range chain.Partitions() {
+			if p.Len() != n+1 {
+				t.Errorf("n=%d: partition %s has %d channels", n, p.Name(), p.Len())
+			}
+			dims := p.CompletePairDims()
+			if len(dims) != 1 || dims[0] != channel.Dim(n-1) {
+				t.Errorf("n=%d: partition %s pairs = %v", n, p.Name(), dims)
+			}
+		}
+		// VC requirements match the stated formula.
+		vcs := VCRequirements(n)
+		derived := cdg.VCConfigFor(n, chain.Channels())
+		for d := 0; d < n; d++ {
+			if vcs[d] != derived[d] {
+				t.Errorf("n=%d dim %d: VCRequirements %d != derived %d", n, d, vcs[d], derived[d])
+			}
+		}
+	}
+}
+
+func TestMinFullyAdaptiveVerifiesAndIsFullyAdaptive(t *testing.T) {
+	// n=2 on 5x5 and n=3 on 3x3x3: acyclic AND fully adaptive.
+	cases := []struct {
+		n   int
+		net *topology.Network
+	}{
+		{2, topology.NewMesh(5, 5)},
+		{3, topology.NewMesh(3, 3, 3)},
+	}
+	for _, tc := range cases {
+		chain, err := MinFullyAdaptiveChain(tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := cdg.VerifyChain(tc.net, chain)
+		if !rep.Acyclic {
+			t.Fatalf("n=%d: %s", tc.n, rep)
+		}
+		vcs := cdg.VCConfigFor(tc.n, chain.Channels())
+		ad, err := cdg.Adaptiveness(tc.net, vcs, chain.AllTurns())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ad.FullyAdaptive() {
+			t.Errorf("n=%d: %s", tc.n, ad)
+		}
+	}
+}
+
+func TestDeriveProducesDistinctValidChains(t *testing.T) {
+	chains, err := Derive(ArrangementFor([]int{2, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) < 2 {
+		t.Fatalf("expected multiple options, got %d", len(chains))
+	}
+	seen := map[string]bool{}
+	for _, c := range chains {
+		key := c.String()
+		if seen[key] {
+			t.Errorf("duplicate chain %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestQuickAlgorithm1InvariantsHold(t *testing.T) {
+	// Algorithm 1 on any random arrangement must yield a valid chain
+	// (Theorem-1 partitions, pairwise disjoint) consuming every channel
+	// exactly once, and the chain must verify acyclic on a mesh.
+	net2 := topology.NewMesh(3, 3)
+	net3 := topology.NewMesh(3, 3, 2)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dims := 2 + r.Intn(2)
+		vcs := make([]int, dims)
+		total := 0
+		for d := range vcs {
+			vcs[d] = 1 + r.Intn(3)
+			total += 2 * vcs[d]
+		}
+		arr := ArrangementFor(vcs)
+		// Random rotations to explore Arrangement 2/3 variants.
+		for i := range arr {
+			k := r.Intn(arr[i].Len())
+			if i == 0 {
+				k &^= 1 // keep the lead set pair-aligned
+			}
+			arr[i] = arr[i].rotated(k)
+		}
+		chain, err := arr.Partition()
+		if err != nil {
+			return false
+		}
+		if len(chain.Channels()) != total {
+			return false
+		}
+		net := net2
+		if dims == 3 {
+			net = net3
+		}
+		vcfg := cdg.VCConfigFor(dims, chain.Channels())
+		return cdg.VerifyTurnSet(net, vcfg, chain.AllTurns()).Acyclic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairArrangements(t *testing.T) {
+	s := PairedSet(channel.Y, 2)
+	arrs := PairArrangements(s)
+	if len(arrs) != 2 {
+		t.Fatalf("pairings = %d, want 2! = 2", len(arrs))
+	}
+	// Identity pairing first, mixed pairing second.
+	want0 := channel.MustParseList("Y1+ Y1- Y2+ Y2-")
+	want1 := channel.MustParseList("Y1+ Y2- Y2+ Y1-")
+	for i, c := range arrs[0].Channels {
+		if c != want0[i] {
+			t.Errorf("pairing 0 channel %d = %v, want %v", i, c, want0[i])
+		}
+	}
+	for i, c := range arrs[1].Channels {
+		if c != want1[i] {
+			t.Errorf("pairing 1 channel %d = %v, want %v", i, c, want1[i])
+		}
+	}
+	if got := len(PairArrangements(PairedSet(channel.Y, 3))); got != 6 {
+		t.Errorf("3-VC pairings = %d, want 3! = 6", got)
+	}
+	// Unbalanced sets fall back to the original ordering.
+	unb := MustSet(channel.X, channel.MustParseList("X1+ X1- X2+")...)
+	if got := len(PairArrangements(unb)); got != 1 {
+		t.Errorf("unbalanced pairings = %d, want 1", got)
+	}
+}
+
+func TestDeriveWithPairingsProducesValidDistinctChains(t *testing.T) {
+	arr := ArrangementFor([]int{1, 2}) // Y leads with 2 pairs
+	base, err := Derive(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := DeriveWithPairings(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) <= len(base) {
+		t.Errorf("pairings should add options: %d vs %d", len(all), len(base))
+	}
+	// Every option is a valid chain consuming all six channels, and the
+	// mixed pairing produces partitions with cross-VC D-pairs
+	// (Definition 3: X2+ with X1- is a complete pair).
+	net := topology.NewMesh(4, 4)
+	seen := map[string]bool{}
+	crossVC := false
+	for _, c := range all {
+		if seen[c.String()] {
+			t.Fatalf("duplicate option %s", c)
+		}
+		seen[c.String()] = true
+		if len(c.Channels()) != 6 {
+			t.Errorf("%s: %d channels", c, len(c.Channels()))
+		}
+		vcs := cdg.VCConfigFor(2, c.Channels())
+		if !cdg.VerifyTurnSet(net, vcs, c.AllTurns()).Acyclic {
+			t.Errorf("%s: cyclic", c)
+		}
+		for _, p := range c.Partitions() {
+			for _, dim := range p.CompletePairDims() {
+				for _, a := range p.Channels() {
+					for _, b := range p.Channels() {
+						if a.Dim == dim && b.Dim == dim && a.Sign != b.Sign && a.VC != b.VC {
+							crossVC = true
+						}
+					}
+				}
+			}
+		}
+	}
+	if !crossVC {
+		t.Error("expected at least one cross-VC complete pair from the mixed pairing")
+	}
+}
+
+func TestVCRequirements(t *testing.T) {
+	cases := map[int][]int{
+		1: {1},
+		2: {1, 2},
+		3: {2, 2, 4},
+		4: {4, 4, 4, 8},
+	}
+	for n, want := range cases {
+		got := VCRequirements(n)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: %v", n, got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("n=%d: VCRequirements = %v, want %v", n, got, want)
+				break
+			}
+		}
+	}
+}

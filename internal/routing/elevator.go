@@ -1,0 +1,153 @@
+package routing
+
+import (
+	"ebda/internal/channel"
+	"ebda/internal/core"
+	"ebda/internal/topology"
+)
+
+// Elevators is the set of vertical-connection columns of a vertically
+// partially connected 3D network, as [x, y] positions.
+type Elevators [][2]int
+
+// Nearest returns the elevator closest (Manhattan, in the XY plane) to the
+// given coordinate, breaking ties by list order.
+func (e Elevators) Nearest(c topology.Coord) [2]int {
+	best := e[0]
+	bestDist := manhattan2(best, c)
+	for _, ev := range e[1:] {
+		if d := manhattan2(ev, c); d < bestDist {
+			best, bestDist = ev, d
+		}
+	}
+	return best
+}
+
+func manhattan2(e [2]int, c topology.Coord) int {
+	dx := e[0] - c[0]
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := e[1] - c[1]
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// ElevatorFirst is the deterministic baseline of Section 6.3 (Dubois et
+// al.): XY-route to an elevator on virtual-channel set 1, descend/ascend,
+// then XY-route to the destination on virtual-channel set 2. It uses 2, 2
+// and 1 VCs along X, Y and Z.
+type ElevatorFirst struct {
+	elevators Elevators
+}
+
+// NewElevatorFirst returns the Elevator-First baseline for the given
+// elevator columns.
+func NewElevatorFirst(elevators Elevators) *ElevatorFirst {
+	if len(elevators) == 0 {
+		panic("routing: ElevatorFirst needs at least one elevator")
+	}
+	return &ElevatorFirst{elevators: elevators}
+}
+
+// Name implements Algorithm.
+func (a *ElevatorFirst) Name() string { return "elevator-first" }
+
+// Candidates implements Algorithm.
+func (a *ElevatorFirst) Candidates(net *topology.Network, cur topology.NodeID, in *channel.Class, dst topology.NodeID) []channel.Class {
+	c := net.Coord(cur)
+	d := net.Coord(dst)
+	if c[2] != d[2] {
+		// Phase 1: XY-route on VC set 1 to the elevator nearest the
+		// destination (consistent across hops), then travel vertically.
+		ev := a.elevators.Nearest(d)
+		if c[0] == ev[0] && c[1] == ev[1] {
+			sign := channel.Plus
+			if d[2] < c[2] {
+				sign = channel.Minus
+			}
+			return []channel.Class{channel.NewVC(channel.Z, sign, 1)}
+		}
+		return a.xyStep(c, topology.Coord{ev[0], ev[1]}, 1)
+	}
+	// Phase 2 (destination layer reached, or the packet never had to
+	// change layers): XY-route on VC set 2.
+	return a.xyStep(c, topology.Coord{d[0], d[1]}, 2)
+}
+
+// xyStep returns the single XY dimension-order hop from c toward the XY
+// target on the given VC.
+func (a *ElevatorFirst) xyStep(c topology.Coord, target topology.Coord, vc int) []channel.Class {
+	if c[0] != target[0] {
+		sign := channel.Plus
+		if target[0] < c[0] {
+			sign = channel.Minus
+		}
+		return []channel.Class{channel.NewVC(channel.X, sign, vc)}
+	}
+	if c[1] != target[1] {
+		sign := channel.Plus
+		if target[1] < c[1] {
+			sign = channel.Minus
+		}
+		return []channel.Class{channel.NewVC(channel.Y, sign, vc)}
+	}
+	return nil
+}
+
+// VCsPerDim returns Elevator-First's VC requirement: 2, 2, 1.
+func (a *ElevatorFirst) VCsPerDim() []int { return []int{2, 2, 1} }
+
+// NewEbDaElevator derives the Section 6.3 partitioned algorithm
+// (Table5Chain: PA[X1+ Y1* Z1+] -> PB[X1- Y2* Z1-], 1/2/1 VCs) as a
+// chain-based algorithm. It offers 30 90-degree turns against
+// Elevator-First's 16, with fewer virtual channels.
+//
+// The partition structure constrains elevator choice: upward channels
+// (Z+) live in PA together with X+ and Y1*, so an elevator must be reached
+// without westward hops (its column must not lie west of the packet), and
+// downward exits (after Z-, in PB) may only continue westward, so a
+// descending packet's elevator must not lie west of the destination
+// either. The waypoint function picks, per hop, the cheapest elevator
+// satisfying those constraints; networks whose easternmost column hosts an
+// elevator (as in the paper's setting) always have one.
+func NewEbDaElevator(chain *core.Chain, elevators Elevators) *FromChain {
+	if len(elevators) == 0 {
+		panic("routing: EbDaElevator needs at least one elevator")
+	}
+	target := func(net *topology.Network, cur, dst topology.NodeID) topology.NodeID {
+		c, d := net.Coord(cur), net.Coord(dst)
+		if c[2] == d[2] {
+			return dst
+		}
+		goingDown := d[2] < c[2]
+		best := [2]int{-1, -1}
+		bestCost := int(^uint(0) >> 1)
+		for _, ev := range elevators {
+			if ev[0] < c[0] {
+				continue // unreachable without a westward (PB) hop
+			}
+			if goingDown && ev[0] < d[0] {
+				continue // post-descent hops are westward only
+			}
+			cost := manhattan2(ev, c) + manhattan2(ev, d)
+			if cost < bestCost {
+				best, bestCost = ev, cost
+			}
+		}
+		if best[0] < 0 {
+			// No compatible elevator; fall back to the nearest one
+			// (delivery will fail and be reported by CheckDelivery).
+			best = elevators.Nearest(d)
+		}
+		if c[0] == best[0] && c[1] == best[1] {
+			// At the elevator: next productive move is vertical,
+			// toward the destination layer.
+			return net.ID(topology.Coord{best[0], best[1], d[2]})
+		}
+		return net.ID(topology.Coord{best[0], best[1], c[2]})
+	}
+	return NewFromChainWithTarget("ebda-elevator", chain, 3, target)
+}

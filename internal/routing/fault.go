@@ -1,0 +1,205 @@
+package routing
+
+import (
+	"ebda/internal/channel"
+	"ebda/internal/core"
+	"ebda/internal/topology"
+)
+
+// FaultTolerant derives a fault-tolerant routing algorithm from an EbDa
+// partition chain, realising the paper's note to Theorem 2: the ordered
+// U- and I-turns the theory admits exist precisely so that packets can be
+// rerouted around faults without risking deadlock.
+//
+// Unlike FromChain, candidates are not restricted to minimal hops: any
+// outgoing channel is offered whose class the turn relation permits after
+// the packet's current class and from whose state the destination remains
+// reachable on the (possibly faulty) network. Two properties follow
+// directly from the theory:
+//
+//   - deadlock freedom: the offered turns are a subset of the chain's
+//     acyclic relation;
+//   - livelock freedom: the concrete channel dependency graph is acyclic,
+//     so every hop moves the packet to a strictly later channel in a fixed
+//     topological order — any walk is bounded by the channel count, no
+//     matter how adversarially the adaptive choices fall.
+type FaultTolerant struct {
+	name    string
+	chain   *core.Chain
+	turns   *core.TurnSet
+	vcs     []int
+	classes []channel.Class
+	// reach caches, per destination, which (node, class) states can
+	// still reach it; states are indexed node*len(classes)+classIdx.
+	reach map[topology.NodeID][]bool
+	// net is the (faulty) network the reachability cache was built for.
+	net *topology.Network
+}
+
+// NewFaultTolerant builds the fault-tolerant algorithm for a chain on a
+// specific network instance (the network identity matters because the
+// reachability analysis must see the same faults the router sees).
+func NewFaultTolerant(name string, chain *core.Chain, net *topology.Network) *FaultTolerant {
+	ts := chain.AllTurns()
+	vcs := make([]int, net.Dims())
+	for i := range vcs {
+		vcs[i] = 1
+	}
+	for _, c := range chain.Channels() {
+		if int(c.Dim) < len(vcs) && c.VC > vcs[c.Dim] {
+			vcs[c.Dim] = c.VC
+		}
+	}
+	return &FaultTolerant{
+		name: name, chain: chain, turns: ts, vcs: vcs,
+		classes: ts.Classes(),
+		reach:   make(map[topology.NodeID][]bool),
+		net:     net,
+	}
+}
+
+// Name implements Algorithm.
+func (a *FaultTolerant) Name() string { return a.name }
+
+// Chain returns the underlying design.
+func (a *FaultTolerant) Chain() *core.Chain { return a.chain }
+
+// VCs returns the per-dimension VC counts.
+func (a *FaultTolerant) VCs() []int { return a.vcs }
+
+// classIdx returns the index of a class in the design, or -1.
+func (a *FaultTolerant) classIdx(c channel.Class) int {
+	for i, cls := range a.classes {
+		if cls == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// matchAt returns the design classes a hop from coord along (d, sign, vc)
+// instantiates.
+func (a *FaultTolerant) matchAt(coord topology.Coord, d channel.Dim, sign channel.Sign, vc int) []channel.Class {
+	var out []channel.Class
+	for _, cls := range a.classes {
+		if cls.Dim != d || cls.Sign != sign || cls.VC != vc {
+			continue
+		}
+		if cls.Par != channel.Any && !cls.Par.Matches(coord[cls.PDim]) {
+			continue
+		}
+		out = append(out, cls)
+	}
+	return out
+}
+
+// reachSet returns (building lazily) the set of states that can reach dst:
+// state (u, c) means "a packet at node u whose last hop instantiated
+// class c". The computation is a backward BFS over the state graph, which
+// is acyclic because the chain's dependency graph is.
+func (a *FaultTolerant) reachSet(dst topology.NodeID) []bool {
+	if s, ok := a.reach[dst]; ok {
+		return s
+	}
+	n := a.net.Nodes()
+	k := len(a.classes)
+	set := make([]bool, n*k)
+	// Seed: every state located at the destination.
+	for ci := 0; ci < k; ci++ {
+		set[int(dst)*k+ci] = true
+	}
+	// State (u, c) reaches dst if some hop (u -> v) with class c' is
+	// allowed after c and (v, c') reaches dst. With the modest state
+	// counts involved (nodes x classes) a fixed-point sweep is simple
+	// and converges quickly because the state graph is acyclic.
+	changed := true
+	for changed {
+		changed = false
+		for u := topology.NodeID(0); int(u) < n; u++ {
+			coord := a.net.Coord(u)
+			for ci := 0; ci < k; ci++ {
+				if set[int(u)*k+ci] {
+					continue
+				}
+				if a.stateCanStep(coord, u, a.classes[ci], set) {
+					set[int(u)*k+ci] = true
+					changed = true
+				}
+			}
+		}
+	}
+	a.reach[dst] = set
+	return set
+}
+
+// stateCanStep reports whether some permitted hop from (u, c) lands in a
+// state already known to reach the destination.
+func (a *FaultTolerant) stateCanStep(coord topology.Coord, u topology.NodeID, c channel.Class, set []bool) bool {
+	k := len(a.classes)
+	for d := 0; d < a.net.Dims(); d++ {
+		for _, sign := range []channel.Sign{channel.Plus, channel.Minus} {
+			v, _, ok := a.net.Neighbor(u, channel.Dim(d), sign)
+			if !ok {
+				continue
+			}
+			for vc := 1; vc <= a.vcs[d]; vc++ {
+				for _, oc := range a.matchAt(coord, channel.Dim(d), sign, vc) {
+					if !a.turns.Allows(c, oc) {
+						continue
+					}
+					if set[int(v)*k+a.classIdx(oc)] {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Candidates implements Algorithm: all viable hops, productive ones first.
+func (a *FaultTolerant) Candidates(net *topology.Network, cur topology.NodeID, in *channel.Class, dst topology.NodeID) []channel.Class {
+	set := a.reachSet(dst)
+	coord := net.Coord(cur)
+	offs := net.MinimalOffsets(cur, dst)
+	k := len(a.classes)
+	var inClasses []channel.Class
+	if in != nil {
+		inClasses = a.matchAt(coord, in.Dim, in.Sign, in.VC)
+	}
+	var productive, detour []channel.Class
+	for d := 0; d < net.Dims(); d++ {
+		for _, sign := range []channel.Sign{channel.Plus, channel.Minus} {
+			v, _, ok := net.Neighbor(cur, channel.Dim(d), sign)
+			if !ok {
+				continue
+			}
+			for vc := 1; vc <= a.vcs[d]; vc++ {
+				viable := false
+				for _, oc := range a.matchAt(coord, channel.Dim(d), sign, vc) {
+					allowed := in == nil
+					for _, ic := range inClasses {
+						if a.turns.Allows(ic, oc) {
+							allowed = true
+							break
+						}
+					}
+					if allowed && set[int(v)*k+a.classIdx(oc)] {
+						viable = true
+						break
+					}
+				}
+				if !viable {
+					continue
+				}
+				cand := channel.NewVC(channel.Dim(d), sign, vc)
+				if off := offs[d]; off != 0 && (off > 0) == (sign == channel.Plus) {
+					productive = append(productive, cand)
+				} else {
+					detour = append(detour, cand)
+				}
+			}
+		}
+	}
+	return append(productive, detour...)
+}

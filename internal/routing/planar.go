@@ -1,0 +1,99 @@
+package routing
+
+import (
+	"ebda/internal/channel"
+	"ebda/internal/topology"
+)
+
+// PlanarAdaptive is Chien & Kim's planar-adaptive routing (reference [2]
+// of the paper): an n-dimensional packet routes adaptively within a
+// sequence of 2D planes A0 = (d0, d1), A1 = (d1, d2), ..., moving to plane
+// Ai+1 once the offset in di is corrected. Within plane Ai routing is
+// fully adaptive; deadlock freedom comes from splitting di+1's virtual
+// channels by the sign of the di offset (the same discipline as DyXY).
+//
+// Virtual-channel budget: the first dimension uses 1 VC, middle dimensions
+// 3 (VC1/VC2 as the plane-second split, VC3 as the plane-first channel),
+// and the last dimension 2 — e.g. 1,3,2 for 3D, totalling 12 channels
+// against the 16 of the fully adaptive design.
+type PlanarAdaptive struct{}
+
+// NewPlanarAdaptive returns the planar-adaptive baseline.
+func NewPlanarAdaptive() *PlanarAdaptive { return &PlanarAdaptive{} }
+
+// Name implements Algorithm.
+func (a *PlanarAdaptive) Name() string { return "planar-adaptive" }
+
+// VCsPerDim returns the VC requirement: 1 for the first dimension, 3 for
+// middle dimensions, 2 for the last (1,2 for 2D — where the scheme is
+// exactly DyXY).
+func (a *PlanarAdaptive) VCsPerDim(net *topology.Network) []int {
+	n := net.Dims()
+	out := make([]int, n)
+	for d := 0; d < n; d++ {
+		switch {
+		case d == 0:
+			out[d] = 1
+		case d == n-1:
+			out[d] = 2
+		default:
+			out[d] = 3
+		}
+	}
+	return out
+}
+
+// leadVC is the VC a dimension uses when it is the first dimension of the
+// active plane.
+func leadVC(d int) int {
+	if d == 0 {
+		return 1
+	}
+	return 3
+}
+
+// Candidates implements Algorithm.
+func (a *PlanarAdaptive) Candidates(net *topology.Network, cur topology.NodeID, in *channel.Class, dst topology.NodeID) []channel.Class {
+	offs := net.MinimalOffsets(cur, dst)
+	n := net.Dims()
+	// Find the active plane: the first dimension with a remaining offset.
+	f := -1
+	for d := 0; d < n; d++ {
+		if offs[d] != 0 {
+			f = d
+			break
+		}
+	}
+	if f < 0 {
+		return nil
+	}
+	sign := func(off int) channel.Sign {
+		if off > 0 {
+			return channel.Plus
+		}
+		return channel.Minus
+	}
+	var out []channel.Class
+	if f == n-1 {
+		// Only the last dimension remains. By convention the second VC
+		// class carries it: packets may reach this phase having just
+		// moved d_{n-2} in the negative direction (the later partition
+		// of the final plane), from which only the second class is
+		// reachable under the EbDa ordering — using it unconditionally
+		// keeps the rule-based relation a sub-relation of
+		// paper.PlanarAdaptiveChain.
+		out = append(out, channel.NewVC(channel.Dim(f), sign(offs[f]), 2))
+		return out
+	}
+	// Plane (f, f+1): adaptive between both dimensions. The second
+	// dimension's VC is selected by the sign of the first's offset.
+	out = append(out, channel.NewVC(channel.Dim(f), sign(offs[f]), leadVC(f)))
+	if offs[f+1] != 0 {
+		vc := 1
+		if offs[f] < 0 {
+			vc = 2
+		}
+		out = append(out, channel.NewVC(channel.Dim(f+1), sign(offs[f+1]), vc))
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"ebda/internal/cdg"
+	"ebda/internal/channel"
+	"ebda/internal/paper"
+	"ebda/internal/topology"
+)
+
+func TestPlanarAdaptiveVerifiesAndDelivers3D(t *testing.T) {
+	net := topology.NewMesh(4, 4, 4)
+	alg := NewPlanarAdaptive()
+	vcs := cdg.VCConfig(alg.VCsPerDim(net))
+	if vcs[0] != 1 || vcs[1] != 3 || vcs[2] != 2 {
+		t.Fatalf("VCs = %v, want 1,3,2", vcs)
+	}
+	rep := Verify(net, vcs, alg)
+	if !rep.Acyclic {
+		t.Fatalf("planar-adaptive: %s", rep)
+	}
+	del := CheckDelivery(net, alg, 64)
+	if !del.OK() {
+		t.Errorf("planar-adaptive: %s", del)
+	}
+}
+
+func TestPlanarAdaptive2DIsDyXYShaped(t *testing.T) {
+	net := topology.NewMesh(5, 5)
+	alg := NewPlanarAdaptive()
+	vcs := cdg.VCConfig(alg.VCsPerDim(net))
+	if vcs[0] != 1 || vcs[1] != 2 {
+		t.Fatalf("2D VCs = %v, want 1,2", vcs)
+	}
+	rep := Verify(net, vcs, alg)
+	if !rep.Acyclic {
+		t.Fatalf("2D planar: %s", rep)
+	}
+	if del := CheckDelivery(net, alg, 64); !del.OK() {
+		t.Errorf("2D planar: %s", del)
+	}
+}
+
+func TestPlanarAdaptive4D(t *testing.T) {
+	net := topology.NewMesh(3, 3, 3, 3)
+	alg := NewPlanarAdaptive()
+	vcs := cdg.VCConfig(alg.VCsPerDim(net))
+	if vcs[1] != 3 || vcs[2] != 3 || vcs[3] != 2 {
+		t.Fatalf("4D VCs = %v", vcs)
+	}
+	rep := Verify(net, vcs, alg)
+	if !rep.Acyclic {
+		t.Fatalf("4D planar: %s", rep)
+	}
+	if del := CheckDelivery(net, alg, 96); !del.OK() {
+		t.Errorf("4D planar: %s", del)
+	}
+}
+
+func TestPlanarAdaptiveChainCoversRuleBasedWalks(t *testing.T) {
+	// The EbDa chain expressing planar-adaptive routing must admit every
+	// turn the rule-based algorithm takes (random adaptive walks), and
+	// itself verify acyclic.
+	net := topology.NewMesh(4, 4, 4)
+	chain, err := paper.PlanarAdaptiveChain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(chain.Channels()); got != 12 {
+		t.Fatalf("chain channels = %d, want 12", got)
+	}
+	rep := cdg.VerifyChain(net, chain)
+	if !rep.Acyclic {
+		t.Fatalf("planar chain: %s", rep)
+	}
+	ts := chain.AllTurns()
+	alg := NewPlanarAdaptive()
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 300; trial++ {
+		src := topology.NodeID(r.Intn(net.Nodes()))
+		dst := topology.NodeID(r.Intn(net.Nodes()))
+		if src == dst {
+			continue
+		}
+		cur := src
+		var in *channel.Class
+		for cur != dst {
+			cands := alg.Candidates(net, cur, in, dst)
+			if len(cands) == 0 {
+				t.Fatalf("planar stuck at n%d toward n%d", cur, dst)
+			}
+			c := cands[r.Intn(len(cands))]
+			if in != nil && !ts.Allows(*in, c) {
+				t.Fatalf("rule-based turn %s -> %s not admitted by the chain", in, c)
+			}
+			next, _, ok := net.Neighbor(cur, c.Dim, c.Sign)
+			if !ok {
+				t.Fatalf("missing link for %v at n%d", c, cur)
+			}
+			cur = next
+			cls := c
+			in = &cls
+		}
+	}
+}
+
+func TestPlanarAdaptivenessOrdering(t *testing.T) {
+	// Adaptiveness on a 3x3x3 mesh: XYZ (deterministic) < planar chain <
+	// fully adaptive 16-channel design.
+	net := topology.NewMesh(3, 3, 3)
+	chain, err := paper.PlanarAdaptiveChain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planar, err := cdg.Adaptiveness(net, cdg.VCConfigFor(3, chain.Channels()), chain.AllTurns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := cdg.Adaptiveness(net, cdg.VCConfigFor(3, paper.Figure9B().Channels()), paper.Figure9B().AllTurns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(planar.Degree() < full.Degree()) {
+		t.Errorf("planar %.4f should be below fully adaptive %.4f", planar.Degree(), full.Degree())
+	}
+	if planar.BrokenPairs != 0 {
+		t.Errorf("planar chain broke %d pairs", planar.BrokenPairs)
+	}
+	if planar.Degree() < 0.3 {
+		t.Errorf("planar adaptiveness %.4f suspiciously low", planar.Degree())
+	}
+	t.Logf("adaptiveness: planar %.4f (12 channels) vs fully adaptive %.4f (16 channels)",
+		planar.Degree(), full.Degree())
+}

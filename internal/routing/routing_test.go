@@ -1,0 +1,387 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ebda/internal/cdg"
+	"ebda/internal/channel"
+	"ebda/internal/core"
+	"ebda/internal/topology"
+)
+
+func TestXYDeterministic(t *testing.T) {
+	net := topology.NewMesh(4, 4)
+	alg := NewXY()
+	src := net.ID(topology.Coord{0, 0})
+	dst := net.ID(topology.Coord{2, 3})
+	cands := alg.Candidates(net, src, nil, dst)
+	if len(cands) != 1 || cands[0] != channel.New(channel.X, channel.Plus) {
+		t.Errorf("XY first hop = %v, want X+", cands)
+	}
+	mid := net.ID(topology.Coord{2, 0})
+	in := channel.New(channel.X, channel.Plus)
+	cands = alg.Candidates(net, mid, &in, dst)
+	if len(cands) != 1 || cands[0] != channel.New(channel.Y, channel.Plus) {
+		t.Errorf("XY after X done = %v, want Y+", cands)
+	}
+}
+
+func TestDORVariants(t *testing.T) {
+	net := topology.NewMesh(4, 4)
+	dst := net.ID(topology.Coord{2, 2})
+	src := net.ID(topology.Coord{0, 0})
+	if got := NewYX().Candidates(net, src, nil, dst); len(got) != 1 || got[0].Dim != channel.Y {
+		t.Errorf("YX first hop = %v", got)
+	}
+	// Default order is ascending dims.
+	d := &DOR{}
+	if d.Name() != "dor" {
+		t.Error("default name")
+	}
+	if got := d.Candidates(net, src, nil, dst); len(got) != 1 || got[0].Dim != channel.X {
+		t.Errorf("default DOR first hop = %v", got)
+	}
+}
+
+func TestTurnModelPriorities(t *testing.T) {
+	net := topology.NewMesh(5, 5)
+	wf := NewWestFirst()
+	// Destination to the north-west: only W is offered until the X
+	// offset is corrected.
+	cur := net.ID(topology.Coord{2, 2})
+	dst := net.ID(topology.Coord{0, 4})
+	cands := wf.Candidates(net, cur, nil, dst)
+	if len(cands) != 1 || cands[0].Dim != channel.X || cands[0].Sign != channel.Minus {
+		t.Errorf("west-first toward NW = %v, want only W", cands)
+	}
+	// Destination to the north-east: adaptive between E and N.
+	dst = net.ID(topology.Coord{4, 4})
+	if got := len(wf.Candidates(net, cur, nil, dst)); got != 2 {
+		t.Errorf("west-first toward NE offers %d dirs, want 2", got)
+	}
+	// North-last: N only when it is the sole remaining direction.
+	nl := NewNorthLast()
+	cands = nl.Candidates(net, cur, nil, dst)
+	for _, c := range cands {
+		if c.Dim == channel.Y && c.Sign == channel.Plus {
+			t.Error("north-last offered N while E remains")
+		}
+	}
+	dst = net.ID(topology.Coord{2, 4})
+	cands = nl.Candidates(net, cur, nil, dst)
+	if len(cands) != 1 || cands[0].Dim != channel.Y {
+		t.Errorf("north-last pure north = %v", cands)
+	}
+	// Negative-first: negatives before positives.
+	nf := NewNegativeFirst()
+	dst = net.ID(topology.Coord{4, 0})
+	cands = nf.Candidates(net, cur, nil, dst)
+	if len(cands) != 1 || cands[0].Sign != channel.Minus {
+		t.Errorf("negative-first toward SE = %v, want only S", cands)
+	}
+}
+
+func TestBaselinesVerifyAcyclicAndDeliver(t *testing.T) {
+	net := topology.NewMesh(5, 5)
+	algs := []Algorithm{NewXY(), NewYX(), NewWestFirst(), NewNorthLast(), NewNegativeFirst(), NewOddEven()}
+	for _, alg := range algs {
+		rep := Verify(net, nil, alg)
+		if !rep.Acyclic {
+			t.Errorf("%s: %s", alg.Name(), rep)
+		}
+		del := CheckDelivery(net, alg, 64)
+		if !del.OK() {
+			t.Errorf("%s: %s", alg.Name(), del)
+		}
+	}
+}
+
+// crossCheckWalks drives random adaptive walks under `driver` and asserts
+// that `other` offers a superset of useful progress at every reachable
+// state: wherever the driver has candidates, the other algorithm must also
+// have at least one, and the walk must deliver. This compares algorithms
+// over reachable states only (unreachable (in, dst) combinations are
+// allowed to disagree).
+func crossCheckWalks(t *testing.T, net *topology.Network, driver, other Algorithm, walks int, seed int64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	for w := 0; w < walks; w++ {
+		src := topology.NodeID(r.Intn(net.Nodes()))
+		dst := topology.NodeID(r.Intn(net.Nodes()))
+		if src == dst {
+			continue
+		}
+		cur := src
+		var in *channel.Class
+		for hops := 0; hops < 4*net.Nodes(); hops++ {
+			if cur == dst {
+				break
+			}
+			cands := driver.Candidates(net, cur, in, dst)
+			if len(cands) == 0 {
+				t.Fatalf("%s: no candidates at n%d (in=%v, dst=n%d)", driver.Name(), cur, in, dst)
+			}
+			if len(other.Candidates(net, cur, in, dst)) == 0 {
+				t.Fatalf("%s offers nothing where %s progresses (n%d in=%v dst=n%d)",
+					other.Name(), driver.Name(), cur, in, dst)
+			}
+			c := cands[r.Intn(len(cands))]
+			next, _, ok := net.Neighbor(cur, c.Dim, c.Sign)
+			if !ok {
+				t.Fatalf("%s: candidate %v has no link at n%d", driver.Name(), c, cur)
+			}
+			cur = next
+			cls := channel.NewVC(c.Dim, c.Sign, c.VC)
+			in = &cls
+		}
+		if cur != dst {
+			t.Fatalf("%s: walk n%d -> n%d did not terminate", driver.Name(), src, dst)
+		}
+	}
+}
+
+func TestFromChainWestFirstCrossCheck(t *testing.T) {
+	// The chain PA[X-] -> PB[X+ Y+ Y-] and the rule-based west-first
+	// baseline must each be able to progress wherever the other does,
+	// across random adaptive walks (reachable states).
+	net := topology.NewMesh(5, 5)
+	chainAlg := NewFromChain("wf-chain", core.MustParseChain("PA[X-] -> PB[X+ Y+ Y-]"), 2)
+	ruleAlg := NewWestFirst()
+	crossCheckWalks(t, net, chainAlg, ruleAlg, 300, 1)
+	crossCheckWalks(t, net, ruleAlg, chainAlg, 300, 2)
+}
+
+func TestFromChainOddEvenCrossCheck(t *testing.T) {
+	net := topology.NewMesh(6, 6)
+	pa := core.MustPartition("PA",
+		channel.New(channel.X, channel.Minus),
+		channel.NewParity(channel.Y, channel.Plus, channel.X, channel.Even),
+		channel.NewParity(channel.Y, channel.Minus, channel.X, channel.Even),
+	)
+	pb := core.MustPartition("PB",
+		channel.New(channel.X, channel.Plus),
+		channel.NewParity(channel.Y, channel.Plus, channel.X, channel.Odd),
+		channel.NewParity(channel.Y, channel.Minus, channel.X, channel.Odd),
+	)
+	chainAlg := NewFromChain("oe-chain", core.MustChain(pa, pb), 2)
+	ruleAlg := NewOddEven()
+	crossCheckWalks(t, net, chainAlg, chainAlg, 300, 3)
+	crossCheckWalks(t, net, ruleAlg, ruleAlg, 300, 4)
+	// Every turn the rule-based algorithm takes must be admitted by the
+	// chain's turn relation (the chain covers Odd-Even).
+	ts := chainAlg.Turns()
+	r := rand.New(rand.NewSource(5))
+	for w := 0; w < 300; w++ {
+		src := topology.NodeID(r.Intn(net.Nodes()))
+		dst := topology.NodeID(r.Intn(net.Nodes()))
+		if src == dst {
+			continue
+		}
+		cur := src
+		var in *channel.Class
+		for cur != dst {
+			cands := ruleAlg.Candidates(net, cur, in, dst)
+			if len(cands) == 0 {
+				t.Fatalf("odd-even stuck at n%d dst=n%d", cur, dst)
+			}
+			c := cands[r.Intn(len(cands))]
+			if in != nil {
+				// Map concrete channels to parity classes at cur.
+				inCls := parityClassAt(net, cur, *in)
+				outCls := parityClassAt(net, cur, c)
+				if !ts.Allows(inCls, outCls) {
+					t.Fatalf("rule-based turn %s -> %s at %v not admitted by chain",
+						inCls, outCls, net.Coord(cur))
+				}
+			}
+			next, _, _ := net.Neighbor(cur, c.Dim, c.Sign)
+			cur = next
+			cls := c
+			in = &cls
+		}
+	}
+}
+
+// parityClassAt maps a concrete hop at a node to the Odd-Even abstract
+// class (Y channels carry the column parity).
+func parityClassAt(net *topology.Network, at topology.NodeID, c channel.Class) channel.Class {
+	if c.Dim != channel.Y {
+		return channel.New(c.Dim, c.Sign)
+	}
+	par := channel.Even
+	if net.Coord(at)[channel.X]%2 != 0 {
+		par = channel.Odd
+	}
+	return channel.NewParity(channel.Y, c.Sign, channel.X, par)
+}
+
+func TestFromChainVerifiesAndDelivers(t *testing.T) {
+	net := topology.NewMesh(5, 5)
+	for _, spec := range []string{
+		"PA[X+ X- Y-] -> PB[Y+]",
+		"PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]",
+		"PA[X- Y-] -> PB[X+ Y+]",
+	} {
+		chain := core.MustParseChain(spec)
+		alg := NewFromChain(spec, chain, 2)
+		vcs := cdg.VCConfigFor(2, chain.Channels())
+		rep := Verify(net, vcs, alg)
+		if !rep.Acyclic {
+			t.Errorf("%s: %s", spec, rep)
+		}
+		del := CheckDelivery(net, alg, 64)
+		if !del.OK() {
+			t.Errorf("%s: %s", spec, del)
+		}
+	}
+}
+
+func TestDatelineTorus(t *testing.T) {
+	tor := topology.NewTorus(4, 4)
+	alg := NewDatelineTorus()
+	rep := Verify(tor, cdg.VCConfig(alg.VCsPerDim(tor)), alg)
+	if !rep.Acyclic {
+		t.Fatalf("dateline torus: %s", rep)
+	}
+	del := CheckDelivery(tor, alg, 64)
+	if !del.OK() {
+		t.Errorf("dateline torus: %s", del)
+	}
+}
+
+func TestDatelineTorusLarger(t *testing.T) {
+	tor := topology.NewTorus(5, 3)
+	alg := NewDatelineTorus()
+	rep := Verify(tor, cdg.VCConfig(alg.VCsPerDim(tor)), alg)
+	if !rep.Acyclic {
+		t.Fatalf("dateline torus 5x3: %s", rep)
+	}
+	if del := CheckDelivery(tor, alg, 64); !del.OK() {
+		t.Errorf("dateline torus 5x3: %s", del)
+	}
+}
+
+func TestPlainDORTorusIsCyclic(t *testing.T) {
+	// Without the dateline discipline, DOR on a torus has ring cycles —
+	// the contrast case. (Odd radix: packets that cross the wraparound
+	// and keep going exist for k = 5, closing the ring.)
+	tor := topology.NewTorus(5, 5)
+	rep := Verify(tor, nil, NewXY())
+	if rep.Acyclic {
+		t.Fatal("plain XY on a torus must be cyclic")
+	}
+}
+
+func TestDatelineVCSelection(t *testing.T) {
+	tor := topology.NewTorus(8, 8)
+	alg := NewDatelineTorus()
+	// 6 -> 1 going +X wraps: at 6 the remaining path crosses => VC1.
+	src := tor.ID(topology.Coord{6, 0})
+	dst := tor.ID(topology.Coord{1, 0})
+	cands := alg.Candidates(tor, src, nil, dst)
+	if len(cands) != 1 || cands[0].VC != 1 || cands[0].Sign != channel.Plus {
+		t.Errorf("pre-dateline hop = %v, want X+ VC1", cands)
+	}
+	// After wrapping, at 0 -> 1: no crossing => VC2.
+	src = tor.ID(topology.Coord{0, 0})
+	cands = alg.Candidates(tor, src, nil, dst)
+	if len(cands) != 1 || cands[0].VC != 2 {
+		t.Errorf("post-dateline hop = %v, want VC2", cands)
+	}
+}
+
+func TestElevatorFirst(t *testing.T) {
+	net := topology.NewPartialMesh3D(4, 4, 3, [][2]int{{0, 0}, {3, 3}})
+	alg := NewElevatorFirst(Elevators{{0, 0}, {3, 3}})
+	rep := Verify(net, cdg.VCConfig(alg.VCsPerDim()), alg)
+	if !rep.Acyclic {
+		t.Fatalf("elevator-first: %s", rep)
+	}
+	del := CheckDelivery(net, alg, 64)
+	if !del.OK() {
+		t.Errorf("elevator-first: %s", del)
+	}
+}
+
+func TestEbDaElevator(t *testing.T) {
+	net := topology.NewPartialMesh3D(4, 4, 3, [][2]int{{0, 0}, {3, 3}})
+	chain := core.MustParseChain("PA[X1+ Y1* Z1+] -> PB[X1- Y2* Z1-]")
+	alg := NewEbDaElevator(chain, Elevators{{0, 0}, {3, 3}})
+	vcs := cdg.VCConfigFor(3, chain.Channels())
+	rep := Verify(net, vcs, alg)
+	if !rep.Acyclic {
+		t.Fatalf("ebda-elevator: %s", rep)
+	}
+	del := CheckDelivery(net, alg, 96)
+	if !del.OK() {
+		t.Errorf("ebda-elevator: %s", del)
+	}
+}
+
+// inputsAt enumerates the possible input channels at a node (nil for
+// injection plus one per incoming link direction).
+func inputsAt(net *topology.Network, at topology.NodeID) []*channel.Class {
+	out := []*channel.Class{nil}
+	for d := 0; d < net.Dims(); d++ {
+		for _, sign := range []channel.Sign{channel.Plus, channel.Minus} {
+			// A packet arrives moving (d, sign) if the reverse link
+			// exists from the neighbor.
+			if _, _, ok := net.Neighbor(at, channel.Dim(d), sign.Opposite()); ok {
+				c := channel.New(channel.Dim(d), sign)
+				out = append(out, &c)
+			}
+		}
+	}
+	return out
+}
+
+func TestQuickFromChainCandidatesAreProductive(t *testing.T) {
+	net := topology.NewMesh(5, 5)
+	chain := core.MustParseChain("PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]")
+	alg := NewFromChain("dyxy", chain, 2)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := topology.NodeID(r.Intn(net.Nodes()))
+		dst := topology.NodeID(r.Intn(net.Nodes()))
+		if src == dst {
+			return true
+		}
+		for _, in := range inputsAt(net, src) {
+			offs := net.MinimalOffsets(src, dst)
+			for _, c := range alg.Candidates(net, src, in, dst) {
+				off := offs[c.Dim]
+				if off == 0 || (off > 0) != (c.Sign == channel.Plus) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckDeliveryDetectsBrokenAlgorithm(t *testing.T) {
+	// An algorithm that never routes in Y cannot deliver.
+	net := topology.NewMesh(3, 3)
+	broken := brokenAlg{}
+	del := CheckDelivery(net, broken, 32)
+	if del.OK() {
+		t.Error("broken algorithm should fail delivery")
+	}
+}
+
+type brokenAlg struct{}
+
+func (brokenAlg) Name() string { return "broken" }
+func (brokenAlg) Candidates(net *topology.Network, cur topology.NodeID, in *channel.Class, dst topology.NodeID) []channel.Class {
+	for _, dir := range productiveDirs(net, cur, dst) {
+		if dir.Dim == channel.X {
+			return []channel.Class{dir}
+		}
+	}
+	return nil
+}

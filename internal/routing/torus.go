@@ -1,0 +1,82 @@
+package routing
+
+import (
+	"ebda/internal/channel"
+	"ebda/internal/topology"
+)
+
+// DatelineTorus is deterministic dimension-order routing on a k-ary n-cube
+// with two virtual channels per dimension and the classic dateline
+// discipline: within each ring, hops whose remaining path still has to
+// cross the wraparound boundary travel on VC 1; once past the boundary
+// (or when the path never crosses it), hops travel on VC 2. Breaking the
+// ring dependency this way is the torus counterpart of the paper's note to
+// Theorem 2 (a wraparound channel is two unidirectional channels plus two
+// U-turns, which must be ordered).
+type DatelineTorus struct {
+	// Order lists the dimension correction order; empty means ascending.
+	Order []channel.Dim
+}
+
+// NewDatelineTorus returns dateline dimension-order torus routing.
+func NewDatelineTorus() *DatelineTorus { return &DatelineTorus{} }
+
+// Name implements Algorithm.
+func (a *DatelineTorus) Name() string { return "dateline-torus" }
+
+// Candidates implements Algorithm.
+func (a *DatelineTorus) Candidates(net *topology.Network, cur topology.NodeID, in *channel.Class, dst topology.NodeID) []channel.Class {
+	offs := net.MinimalOffsets(cur, dst)
+	order := a.Order
+	if len(order) == 0 {
+		order = make([]channel.Dim, net.Dims())
+		for d := range order {
+			order[d] = channel.Dim(d)
+		}
+	}
+	curCoord := net.Coord(cur)
+	for _, d := range order {
+		off := offs[d]
+		if off == 0 {
+			continue
+		}
+		sign := channel.Plus
+		if off < 0 {
+			sign = channel.Minus
+		}
+		vc := 2
+		if a.crosses(net, curCoord[d], off, d) {
+			vc = 1
+		}
+		return []channel.Class{channel.NewVC(d, sign, vc)}
+	}
+	return nil
+}
+
+// crosses reports whether a minimal path of the given signed offset,
+// starting at coordinate x in dimension d, still crosses the wraparound
+// boundary between coordinates k-1 and 0.
+func (a *DatelineTorus) crosses(net *topology.Network, x, off int, d channel.Dim) bool {
+	if !net.Wrap(d) {
+		return false
+	}
+	k := net.Size(d)
+	if off > 0 {
+		return x+off >= k
+	}
+	return x+off < 0
+}
+
+// VCsPerDim returns the VC requirement of the dateline scheme (2 per
+// wraparound dimension).
+func (a *DatelineTorus) VCsPerDim(net *topology.Network) []int {
+	out := make([]int, net.Dims())
+	for d := range out {
+		if net.Wrap(channel.Dim(d)) {
+			out[d] = 2
+		} else {
+			out[d] = 1
+		}
+	}
+	return out
+}

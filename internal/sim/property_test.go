@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ebda/internal/cdg"
+	"ebda/internal/channel"
+	"ebda/internal/core"
+	"ebda/internal/routing"
+	"ebda/internal/topology"
+)
+
+// randomChain greedily assigns a random subset of the channel space to
+// random Theorem-1-valid partitions (mirrors the generator in the cdg
+// tests). Returns nil when the draw yields nothing connectable.
+func randomChain(r *rand.Rand, dims, maxVC int) *core.Chain {
+	var pool []channel.Class
+	for d := 0; d < dims; d++ {
+		for vc := 1; vc <= maxVC; vc++ {
+			for _, s := range []channel.Sign{channel.Plus, channel.Minus} {
+				if r.Intn(4) > 0 {
+					pool = append(pool, channel.NewVC(channel.Dim(d), s, vc))
+				}
+			}
+		}
+	}
+	r.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	numParts := 1 + r.Intn(3)
+	buckets := make([][]channel.Class, numParts)
+	for _, c := range pool {
+		for _, b := range r.Perm(numParts) {
+			trial := append(append([]channel.Class(nil), buckets[b]...), c)
+			p, err := core.NewPartition("T", trial...)
+			if err == nil && p.CycleFree() {
+				buckets[b] = trial
+				break
+			}
+		}
+	}
+	var parts []*core.Partition
+	for i, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		p, err := core.NewPartition("P"+string(rune('A'+i)), b...)
+		if err != nil {
+			return nil
+		}
+		parts = append(parts, p)
+	}
+	if len(parts) == 0 {
+		return nil
+	}
+	chain, err := core.NewChain(parts...)
+	if err != nil {
+		return nil
+	}
+	return chain
+}
+
+// TestQuickRandomChainsSimulateWithoutDeadlock is the end-to-end property:
+// any random chain of disjoint Theorem-1 partitions that connects the mesh
+// must run in the wormhole simulator without tripping the deadlock
+// watchdog — the dynamic counterpart of the static CDG property test.
+func TestQuickRandomChainsSimulateWithoutDeadlock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	net := topology.NewMesh(3, 3)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		chain := randomChain(r, 2, 2)
+		if chain == nil {
+			return true
+		}
+		// Only simulate designs that can deliver every pair (partial
+		// channel draws often cannot).
+		vcs := cdg.VCConfigFor(2, chain.Channels())
+		if !cdg.Connectivity(net, vcs, chain.AllTurns(), true).Connected() {
+			return true
+		}
+		alg := routing.NewFromChain("rand", chain, 2)
+		res := New(Config{
+			Net: net, Alg: alg, VCs: alg.VCs(),
+			InjectionRate: 0.4, PacketLen: 6, BufferDepth: 2,
+			Seed:   seed,
+			Warmup: 300, Measure: 900, Drain: 600, DeadlockThreshold: 400,
+		}).Run()
+		if res.Deadlocked {
+			t.Logf("seed %d: chain %s deadlocked: %s", seed, chain.PlainString(), res)
+			return false
+		}
+		return res.DeliveredPackets > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

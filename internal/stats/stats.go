@@ -1,0 +1,219 @@
+// Package stats provides the small statistics toolkit the simulator and
+// experiment harness report with: streaming moments (Welford), exact
+// percentiles over collected samples, histograms, and load-imbalance
+// metrics (max/mean ratio and Gini coefficient) used to compare how evenly
+// routing algorithms spread traffic over links.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stream accumulates count, mean and variance without storing samples
+// (Welford's algorithm).
+type Stream struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add inserts a sample.
+func (s *Stream) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the sample count.
+func (s *Stream) N() int { return s.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance.
+func (s *Stream) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Stream) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min and Max return the extremes (0 with no samples).
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest sample.
+func (s *Stream) Max() float64 { return s.max }
+
+// String renders "mean=12.3 std=4.5 n=678 [1, 99]".
+func (s *Stream) String() string {
+	return fmt.Sprintf("mean=%.2f std=%.2f n=%d [%g, %g]", s.Mean(), s.Std(), s.n, s.min, s.max)
+}
+
+// Samples collects integer samples for exact percentile queries.
+type Samples struct {
+	xs     []int
+	sorted bool
+}
+
+// Add inserts a sample.
+func (s *Samples) Add(x int) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the sample count.
+func (s *Samples) N() int { return len(s.xs) }
+
+// Mean returns the sample mean.
+func (s *Samples) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(s.xs))
+}
+
+func (s *Samples) sort() {
+	if !s.sorted {
+		sort.Ints(s.xs)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) by the
+// nearest-rank method; 0 with no samples.
+func (s *Samples) Percentile(p float64) int {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	idx := int(p / 100 * float64(len(s.xs)))
+	if idx >= len(s.xs) {
+		idx = len(s.xs) - 1
+	}
+	return s.xs[idx]
+}
+
+// Max returns the largest sample (0 with no samples).
+func (s *Samples) Max() int {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.xs[len(s.xs)-1]
+}
+
+// Histogram builds a fixed-width histogram with the given bucket width.
+type Histogram struct {
+	Width   int
+	Buckets map[int]int
+	count   int
+}
+
+// NewHistogram returns a histogram with the given bucket width (>= 1).
+func NewHistogram(width int) *Histogram {
+	if width < 1 {
+		width = 1
+	}
+	return &Histogram{Width: width, Buckets: map[int]int{}}
+}
+
+// Add inserts a sample.
+func (h *Histogram) Add(x int) {
+	h.Buckets[x/h.Width]++
+	h.count++
+}
+
+// N returns the sample count.
+func (h *Histogram) N() int { return h.count }
+
+// String renders an ASCII bar chart, one line per bucket.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "(empty)"
+	}
+	var keys []int
+	maxCount := 0
+	for k, c := range h.Buckets {
+		keys = append(keys, k)
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		c := h.Buckets[k]
+		bar := strings.Repeat("#", int(math.Ceil(40*float64(c)/float64(maxCount))))
+		fmt.Fprintf(&b, "%6d-%-6d %7d %s\n", k*h.Width, (k+1)*h.Width-1, c, bar)
+	}
+	return b.String()
+}
+
+// LoadImbalance summarises how evenly a load vector (e.g. flits per link)
+// is spread.
+type LoadImbalance struct {
+	// MaxOverMean is the peak-to-average ratio (1 = perfectly even).
+	MaxOverMean float64
+	// Gini is the Gini coefficient in [0, 1) (0 = perfectly even).
+	Gini float64
+}
+
+// Imbalance computes load-imbalance metrics over a non-negative vector.
+func Imbalance(loads []int) LoadImbalance {
+	if len(loads) == 0 {
+		return LoadImbalance{}
+	}
+	sum, max := 0, 0
+	for _, l := range loads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if sum == 0 {
+		return LoadImbalance{}
+	}
+	mean := float64(sum) / float64(len(loads))
+	sorted := append([]int(nil), loads...)
+	sort.Ints(sorted)
+	// Gini = (2 * sum(i * x_i) / (n * sum(x)) ) - (n + 1) / n, with
+	// 1-based ranks over ascending values.
+	var weighted float64
+	for i, x := range sorted {
+		weighted += float64(i+1) * float64(x)
+	}
+	n := float64(len(sorted))
+	gini := 2*weighted/(n*float64(sum)) - (n+1)/n
+	return LoadImbalance{
+		MaxOverMean: float64(max) / mean,
+		Gini:        gini,
+	}
+}
+
+// String renders the metrics.
+func (l LoadImbalance) String() string {
+	return fmt.Sprintf("max/mean=%.2f gini=%.3f", l.MaxOverMean, l.Gini)
+}

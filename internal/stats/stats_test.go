@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamMoments(t *testing.T) {
+	var s Stream
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-9 {
+		t.Errorf("mean = %f", s.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-9 {
+		t.Errorf("var = %f", s.Var())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %f/%f", s.Min(), s.Max())
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestStreamEmptyAndSingle(t *testing.T) {
+	var s Stream
+	if s.Mean() != 0 || s.Std() != 0 {
+		t.Error("empty stream should be zero")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.Var() != 0 {
+		t.Error("single sample broken")
+	}
+}
+
+func TestQuickStreamMatchesDirectComputation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		xs := make([]float64, n)
+		var s Stream
+		for i := range xs {
+			xs[i] = r.Float64()*100 - 50
+			s.Add(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		varSum := 0.0
+		for _, x := range xs {
+			varSum += (x - mean) * (x - mean)
+		}
+		direct := varSum / float64(n-1)
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Var()-direct) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplesPercentiles(t *testing.T) {
+	var s Samples
+	for i := 100; i >= 1; i-- { // insert descending to exercise sorting
+		s.Add(i)
+	}
+	if s.N() != 100 || s.Mean() != 50.5 {
+		t.Errorf("n=%d mean=%f", s.N(), s.Mean())
+	}
+	if got := s.Percentile(50); got != 51 {
+		t.Errorf("p50 = %d", got)
+	}
+	if got := s.Percentile(99); got != 100 {
+		t.Errorf("p99 = %d", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("p0 = %d", got)
+	}
+	if s.Max() != 100 {
+		t.Errorf("max = %d", s.Max())
+	}
+	var empty Samples
+	if empty.Percentile(50) != 0 || empty.Max() != 0 || empty.Mean() != 0 {
+		t.Error("empty samples should be zero")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10)
+	for _, x := range []int{1, 5, 9, 10, 15, 25, 99} {
+		h.Add(x)
+	}
+	if h.N() != 7 {
+		t.Errorf("N = %d", h.N())
+	}
+	if h.Buckets[0] != 3 || h.Buckets[1] != 2 || h.Buckets[2] != 1 || h.Buckets[9] != 1 {
+		t.Errorf("buckets = %v", h.Buckets)
+	}
+	out := h.String()
+	if !strings.Contains(out, "#") || !strings.Contains(out, "90") {
+		t.Errorf("render: %q", out)
+	}
+	if NewHistogram(0).Width != 1 {
+		t.Error("width should clamp to 1")
+	}
+	if (NewHistogram(5)).String() != "(empty)" {
+		t.Error("empty histogram render")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	even := Imbalance([]int{5, 5, 5, 5})
+	if math.Abs(even.MaxOverMean-1) > 1e-9 || math.Abs(even.Gini) > 1e-9 {
+		t.Errorf("even load: %+v", even)
+	}
+	skewed := Imbalance([]int{0, 0, 0, 20})
+	if skewed.MaxOverMean != 4 {
+		t.Errorf("skewed max/mean = %f", skewed.MaxOverMean)
+	}
+	if skewed.Gini < 0.7 {
+		t.Errorf("skewed gini = %f", skewed.Gini)
+	}
+	if z := Imbalance(nil); z.MaxOverMean != 0 || z.Gini != 0 {
+		t.Error("nil load should be zero")
+	}
+	if z := Imbalance([]int{0, 0}); z.MaxOverMean != 0 {
+		t.Error("all-zero load should be zero")
+	}
+}
+
+func TestQuickImbalanceBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(30)
+		loads := make([]int, n)
+		sum := 0
+		for i := range loads {
+			loads[i] = r.Intn(100)
+			sum += loads[i]
+		}
+		im := Imbalance(loads)
+		if sum == 0 {
+			return im.Gini == 0 && im.MaxOverMean == 0
+		}
+		return im.Gini >= -1e-9 && im.Gini < 1 && im.MaxOverMean >= 1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

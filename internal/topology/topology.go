@@ -1,0 +1,359 @@
+// Package topology models the direct-network topologies the paper assumes
+// (Assumption 3): n-dimensional meshes, k-ary n-cubes (tori), and irregular
+// variants such as vertically partially connected 3D networks, for arbitrary
+// n and k.
+//
+// A Network is a set of nodes at integer coordinates plus the unidirectional
+// physical links between neighbours. Virtual channels are layered on top by
+// internal/cdg and internal/sim; the topology only describes geometry.
+package topology
+
+import (
+	"fmt"
+	"strings"
+
+	"ebda/internal/channel"
+)
+
+// NodeID identifies a node; IDs are dense in [0, Nodes()).
+type NodeID int
+
+// Coord is a node position, one integer per dimension.
+type Coord []int
+
+// Equal reports whether two coordinates are identical.
+func (c Coord) Equal(o Coord) bool {
+	if len(c) != len(o) {
+		return false
+	}
+	for i := range c {
+		if c[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the coordinate.
+func (c Coord) Clone() Coord { return append(Coord(nil), c...) }
+
+// String renders the coordinate as "(x,y,z)".
+func (c Coord) String() string {
+	parts := make([]string, len(c))
+	for i, v := range c {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Link is one unidirectional physical link between neighbouring nodes.
+type Link struct {
+	From, To NodeID
+	// Dim and Sign give the direction of travel along the link. For a
+	// torus wraparound link the sign still reflects logical direction
+	// (the +k-1 -> 0 link has Sign Plus).
+	Dim  channel.Dim
+	Sign channel.Sign
+	// Wrap marks torus wraparound links.
+	Wrap bool
+}
+
+// LinkFilter decides whether a physical link exists; used for irregular
+// networks. It receives the source coordinate and the direction.
+type LinkFilter func(from Coord, dim channel.Dim, sign channel.Sign) bool
+
+// Network is a (possibly irregular) n-dimensional grid network.
+type Network struct {
+	name    string
+	dims    []int
+	wrap    []bool
+	strides []int
+	nodes   int
+	filter  LinkFilter
+}
+
+// NewMesh returns an n-dimensional mesh with the given per-dimension sizes,
+// e.g. NewMesh(8, 8) for an 8x8 2D mesh.
+func NewMesh(sizes ...int) *Network {
+	return build("mesh", sizes, make([]bool, len(sizes)), nil)
+}
+
+// NewTorus returns a k-ary n-cube: every dimension has wraparound links.
+func NewTorus(sizes ...int) *Network {
+	wrap := make([]bool, len(sizes))
+	for i := range wrap {
+		wrap[i] = true
+	}
+	return build("torus", sizes, wrap, nil)
+}
+
+// NewIrregular returns a mesh with the given sizes where links exist only
+// where the filter allows. The filter is consulted for each direction of
+// each potential link independently.
+func NewIrregular(name string, sizes []int, filter LinkFilter) *Network {
+	return build(name, sizes, make([]bool, len(sizes)), filter)
+}
+
+// NewPartialMesh3D returns a vertically partially connected 3D network
+// (as targeted by Elevator-First routing): an X x Y x Z stack of 2D meshes
+// where vertical (Z) links exist only at the listed elevator columns,
+// given as [x, y] positions.
+func NewPartialMesh3D(x, y, z int, elevators [][2]int) *Network {
+	evs := make(map[[2]int]bool, len(elevators))
+	for _, e := range elevators {
+		evs[e] = true
+	}
+	filter := func(from Coord, dim channel.Dim, sign channel.Sign) bool {
+		if dim != channel.Z {
+			return true
+		}
+		return evs[[2]int{from[0], from[1]}]
+	}
+	return build("partial-3d", []int{x, y, z}, []bool{false, false, false}, filter)
+}
+
+// WithoutLinks returns a copy of the network in which the listed
+// unidirectional links are faulty (absent). Fault injection composes with
+// any existing irregularity filter. Links are identified by their source
+// coordinate and direction.
+func (n *Network) WithoutLinks(faults []Link) *Network {
+	type key struct {
+		from NodeID
+		dim  channel.Dim
+		sign channel.Sign
+	}
+	bad := make(map[key]bool, len(faults))
+	for _, f := range faults {
+		bad[key{f.From, f.Dim, f.Sign}] = true
+	}
+	inner := n.filter
+	filter := func(from Coord, dim channel.Dim, sign channel.Sign) bool {
+		if inner != nil && !inner(from, dim, sign) {
+			return false
+		}
+		// Reconstruct the source node ID from the coordinate.
+		id := 0
+		for i, x := range from {
+			id += x * n.strides[i]
+		}
+		return !bad[key{NodeID(id), dim, sign}]
+	}
+	net := build(n.name+"-faulty", n.dims, n.wrap, filter)
+	return net
+}
+
+func build(name string, sizes []int, wrap []bool, filter LinkFilter) *Network {
+	if len(sizes) == 0 {
+		panic("topology: network needs at least one dimension")
+	}
+	n := 1
+	strides := make([]int, len(sizes))
+	for i, s := range sizes {
+		if s < 2 {
+			panic(fmt.Sprintf("topology: dimension %d size %d < 2", i, s))
+		}
+		strides[i] = n
+		n *= s
+	}
+	return &Network{
+		name:    name,
+		dims:    append([]int(nil), sizes...),
+		wrap:    append([]bool(nil), wrap...),
+		strides: strides,
+		nodes:   n,
+		filter:  filter,
+	}
+}
+
+// Name returns the topology family name ("mesh", "torus", ...).
+func (n *Network) Name() string { return n.name }
+
+// Dims returns the number of dimensions.
+func (n *Network) Dims() int { return len(n.dims) }
+
+// Size returns the extent of one dimension.
+func (n *Network) Size(d channel.Dim) int { return n.dims[d] }
+
+// Sizes returns the per-dimension extents. The slice must not be modified.
+func (n *Network) Sizes() []int { return n.dims }
+
+// Wrap reports whether a dimension has wraparound (torus) links.
+func (n *Network) Wrap(d channel.Dim) bool { return n.wrap[d] }
+
+// Nodes returns the number of nodes.
+func (n *Network) Nodes() int { return n.nodes }
+
+// Coord returns the coordinate of a node ID.
+func (n *Network) Coord(id NodeID) Coord {
+	c := make(Coord, len(n.dims))
+	v := int(id)
+	for i, s := range n.dims {
+		c[i] = v % s
+		v /= s
+	}
+	return c
+}
+
+// ID returns the node ID for a coordinate.
+func (n *Network) ID(c Coord) NodeID {
+	v := 0
+	for i, x := range c {
+		v += x * n.strides[i]
+	}
+	return NodeID(v)
+}
+
+// InBounds reports whether the coordinate lies inside the network.
+func (n *Network) InBounds(c Coord) bool {
+	if len(c) != len(n.dims) {
+		return false
+	}
+	for i, x := range c {
+		if x < 0 || x >= n.dims[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Neighbor returns the node reached from id by one hop in direction
+// (d, sign) and whether that link exists (considering bounds, wraparound,
+// and the irregularity filter). wrapped reports whether the hop used a
+// wraparound link.
+func (n *Network) Neighbor(id NodeID, d channel.Dim, sign channel.Sign) (to NodeID, wrapped, ok bool) {
+	c := n.Coord(id)
+	if n.filter != nil && !n.filter(c, d, sign) {
+		return 0, false, false
+	}
+	x := c[int(d)] + int(sign)
+	switch {
+	case x < 0:
+		if !n.wrap[d] {
+			return 0, false, false
+		}
+		x = n.dims[d] - 1
+		wrapped = true
+	case x >= n.dims[d]:
+		if !n.wrap[d] {
+			return 0, false, false
+		}
+		x = 0
+		wrapped = true
+	}
+	c[int(d)] = x
+	return n.ID(c), wrapped, true
+}
+
+// HasLink reports whether the unidirectional link from id in direction
+// (d, sign) exists.
+func (n *Network) HasLink(id NodeID, d channel.Dim, sign channel.Sign) bool {
+	_, _, ok := n.Neighbor(id, d, sign)
+	return ok
+}
+
+// Links returns every unidirectional physical link in the network, ordered
+// by source node, then dimension, then sign (+ before -).
+func (n *Network) Links() []Link {
+	var links []Link
+	for id := NodeID(0); int(id) < n.nodes; id++ {
+		for d := 0; d < len(n.dims); d++ {
+			for _, sign := range []channel.Sign{channel.Plus, channel.Minus} {
+				to, wrapped, ok := n.Neighbor(id, channel.Dim(d), sign)
+				if !ok {
+					continue
+				}
+				links = append(links, Link{
+					From: id, To: to,
+					Dim: channel.Dim(d), Sign: sign,
+					Wrap: wrapped,
+				})
+			}
+		}
+	}
+	return links
+}
+
+// MinimalOffsets returns, per dimension, the signed hop count of a minimal
+// route from src to dst. In wraparound dimensions the shorter way around is
+// chosen (ties resolve to the positive direction).
+func (n *Network) MinimalOffsets(src, dst NodeID) []int {
+	a, b := n.Coord(src), n.Coord(dst)
+	out := make([]int, len(n.dims))
+	for i := range n.dims {
+		delta := b[i] - a[i]
+		if n.wrap[i] {
+			k := n.dims[i]
+			alt := delta
+			switch {
+			case delta > 0 && delta > k/2:
+				alt = delta - k
+			case delta < 0 && -delta > k/2:
+				alt = delta + k
+			case delta < 0 && -delta == k-(-delta): // unreachable; keep delta
+			}
+			if abs(alt) < abs(delta) || (abs(alt) == abs(delta) && alt > 0) {
+				delta = alt
+			}
+		}
+		out[i] = delta
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// MinimalHops returns the length of a minimal route from src to dst.
+func (n *Network) MinimalHops(src, dst NodeID) int {
+	total := 0
+	for _, d := range n.MinimalOffsets(src, dst) {
+		total += abs(d)
+	}
+	return total
+}
+
+// MinimalPathCount returns the number of distinct minimal direction
+// sequences from src to dst: the multinomial coefficient over the
+// per-dimension offsets. This is the denominator of the paper's "fully
+// adaptive" property.
+func (n *Network) MinimalPathCount(src, dst NodeID) int {
+	offs := n.MinimalOffsets(src, dst)
+	total := 0
+	for _, d := range offs {
+		total += abs(d)
+	}
+	count := 1
+	remaining := total
+	for _, d := range offs {
+		count *= binomial(remaining, abs(d))
+		remaining -= abs(d)
+	}
+	return count
+}
+
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1
+	for i := 1; i <= k; i++ {
+		r = r * (n - k + i) / i
+	}
+	return r
+}
+
+// String describes the network, e.g. "8x8 mesh".
+func (n *Network) String() string {
+	parts := make([]string, len(n.dims))
+	for i, s := range n.dims {
+		parts[i] = fmt.Sprintf("%d", s)
+	}
+	return strings.Join(parts, "x") + " " + n.name
+}

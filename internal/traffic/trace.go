@@ -1,0 +1,84 @@
+package traffic
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"ebda/internal/topology"
+)
+
+// TraceEntry schedules one packet injection (trace-driven workloads, e.g.
+// replayed application traces). The simulator consumes sorted entries via
+// its Config.Trace field.
+type TraceEntry struct {
+	Cycle    int
+	Src, Dst topology.NodeID
+	// Len is the packet length in flits (the simulator's default packet
+	// length when 0).
+	Len int
+}
+
+// ParseTrace reads a trace-driven workload from CSV: one packet per line,
+// `cycle,srcX,srcY[,...],dstX,dstY[,...],len` with `len` optional (0 means
+// the simulator's default packet length). Coordinates use the network's
+// dimension count; a header line is skipped if present. Entries are sorted
+// by cycle.
+func ParseTrace(r io.Reader, net *topology.Network) ([]TraceEntry, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var out []TraceEntry
+	dims := net.Dims()
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		line++
+		if line == 1 && !isNumeric(rec[0]) {
+			continue // header
+		}
+		want := 1 + 2*dims
+		if len(rec) != want && len(rec) != want+1 {
+			return nil, fmt.Errorf("traffic: line %d has %d fields, want %d or %d",
+				line, len(rec), want, want+1)
+		}
+		nums := make([]int, len(rec))
+		for i, f := range rec {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("traffic: line %d field %d: %v", line, i+1, err)
+			}
+			nums[i] = v
+		}
+		src := make(topology.Coord, dims)
+		dst := make(topology.Coord, dims)
+		copy(src, nums[1:1+dims])
+		copy(dst, nums[1+dims:1+2*dims])
+		if !net.InBounds(src) || !net.InBounds(dst) {
+			return nil, fmt.Errorf("traffic: line %d out of bounds", line)
+		}
+		e := TraceEntry{
+			Cycle: nums[0],
+			Src:   net.ID(src),
+			Dst:   net.ID(dst),
+		}
+		if len(nums) == want+1 {
+			e.Len = nums[want]
+		}
+		out = append(out, e)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cycle < out[j].Cycle })
+	return out, nil
+}
+
+func isNumeric(s string) bool {
+	_, err := strconv.Atoi(s)
+	return err == nil
+}

@@ -1,0 +1,69 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+
+	"ebda/internal/topology"
+)
+
+func TestParseTrace(t *testing.T) {
+	net := topology.NewMesh(4, 4)
+	csv := `cycle,sx,sy,dx,dy,len
+10,0,0,3,3,4
+5,1,2,2,1
+20,3,0,0,3,1
+`
+	entries, err := ParseTrace(strings.NewReader(csv), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	// Sorted by cycle.
+	if entries[0].Cycle != 5 || entries[1].Cycle != 10 || entries[2].Cycle != 20 {
+		t.Errorf("not sorted: %+v", entries)
+	}
+	if entries[1].Len != 4 || entries[0].Len != 0 {
+		t.Errorf("lengths wrong: %+v", entries)
+	}
+	if net.Coord(entries[0].Src)[0] != 1 || net.Coord(entries[0].Dst)[1] != 1 {
+		t.Errorf("coords wrong: %+v", entries[0])
+	}
+}
+
+func TestParseTraceNoHeader(t *testing.T) {
+	net := topology.NewMesh(3, 3)
+	entries, err := ParseTrace(strings.NewReader("0,0,0,2,2\n"), net)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("%v %v", entries, err)
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	net := topology.NewMesh(3, 3)
+	for _, bad := range []string{
+		"0,0,0,2\n",   // too few fields
+		"0,0,0,9,9\n", // out of bounds
+		"0,0,x,2,2\n", // non-numeric
+		"0,0,0,2,2,1,1,1\n" /* too many fields */} {
+		if _, err := ParseTrace(strings.NewReader(bad), net); err == nil {
+			t.Errorf("trace %q should fail", bad)
+		}
+	}
+}
+
+func TestParseTrace3D(t *testing.T) {
+	net := topology.NewMesh(3, 3, 2)
+	entries, err := ParseTrace(strings.NewReader("7,0,0,0,2,2,1,3\n"), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Len != 3 {
+		t.Fatalf("%+v", entries)
+	}
+	if !net.Coord(entries[0].Dst).Equal(topology.Coord{2, 2, 1}) {
+		t.Errorf("dst = %v", net.Coord(entries[0].Dst))
+	}
+}

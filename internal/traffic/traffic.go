@@ -1,0 +1,138 @@
+// Package traffic provides the synthetic workload patterns used to
+// exercise routing algorithms in the wormhole simulator: uniform random,
+// transpose, bit-complement, hotspot and nearest-neighbor.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ebda/internal/topology"
+)
+
+// Pattern maps a source node to a destination for each generated packet.
+type Pattern interface {
+	// Name identifies the pattern in reports.
+	Name() string
+	// Dest picks a destination for a packet injected at src. It must not
+	// return src (sources with no valid destination return src, and the
+	// generator skips the packet).
+	Dest(net *topology.Network, src topology.NodeID, r *rand.Rand) topology.NodeID
+}
+
+// Uniform sends each packet to a destination chosen uniformly at random.
+type Uniform struct{}
+
+// Name implements Pattern.
+func (Uniform) Name() string { return "uniform" }
+
+// Dest implements Pattern.
+func (Uniform) Dest(net *topology.Network, src topology.NodeID, r *rand.Rand) topology.NodeID {
+	for {
+		d := topology.NodeID(r.Intn(net.Nodes()))
+		if d != src {
+			return d
+		}
+	}
+}
+
+// Transpose sends (x, y, ...) to the coordinate-reversed node — the matrix
+// transpose on square 2D meshes, generalised to reversal for higher
+// dimensions.
+type Transpose struct{}
+
+// Name implements Pattern.
+func (Transpose) Name() string { return "transpose" }
+
+// Dest implements Pattern.
+func (Transpose) Dest(net *topology.Network, src topology.NodeID, r *rand.Rand) topology.NodeID {
+	c := net.Coord(src)
+	d := make(topology.Coord, len(c))
+	for i := range c {
+		d[i] = c[len(c)-1-i]
+	}
+	// Clip into bounds for non-uniform extents.
+	for i := range d {
+		if max := net.Sizes()[i]; d[i] >= max {
+			d[i] = max - 1
+		}
+	}
+	return net.ID(d)
+}
+
+// BitComplement sends each node to its coordinate complement
+// (k-1-x per dimension).
+type BitComplement struct{}
+
+// Name implements Pattern.
+func (BitComplement) Name() string { return "bit-complement" }
+
+// Dest implements Pattern.
+func (BitComplement) Dest(net *topology.Network, src topology.NodeID, r *rand.Rand) topology.NodeID {
+	c := net.Coord(src)
+	d := make(topology.Coord, len(c))
+	for i, x := range c {
+		d[i] = net.Sizes()[i] - 1 - x
+	}
+	return net.ID(d)
+}
+
+// Hotspot sends a fraction of traffic to designated hotspot nodes and the
+// rest uniformly.
+type Hotspot struct {
+	// Fraction of packets targeting a hotspot, in [0, 1].
+	Fraction float64
+	// Spots are the hotspot nodes; a single central node when empty.
+	Spots []topology.NodeID
+}
+
+// Name implements Pattern.
+func (h Hotspot) Name() string { return fmt.Sprintf("hotspot-%.0f%%", h.Fraction*100) }
+
+// Dest implements Pattern.
+func (h Hotspot) Dest(net *topology.Network, src topology.NodeID, r *rand.Rand) topology.NodeID {
+	spots := h.Spots
+	if len(spots) == 0 {
+		spots = []topology.NodeID{topology.NodeID(net.Nodes() / 2)}
+	}
+	if r.Float64() < h.Fraction {
+		d := spots[r.Intn(len(spots))]
+		if d != src {
+			return d
+		}
+	}
+	return Uniform{}.Dest(net, src, r)
+}
+
+// Neighbor sends each packet one hop in the +X direction (wrapping within
+// the dimension), a nearest-neighbor stress pattern.
+type Neighbor struct{}
+
+// Name implements Pattern.
+func (Neighbor) Name() string { return "neighbor" }
+
+// Dest implements Pattern.
+func (Neighbor) Dest(net *topology.Network, src topology.NodeID, r *rand.Rand) topology.NodeID {
+	c := net.Coord(src)
+	d := c.Clone()
+	d[0] = (c[0] + 1) % net.Sizes()[0]
+	return net.ID(d)
+}
+
+// ByName returns the pattern registered under the given name, for CLI use.
+func ByName(name string) (Pattern, error) {
+	switch name {
+	case "uniform":
+		return Uniform{}, nil
+	case "transpose":
+		return Transpose{}, nil
+	case "bit-complement", "bitcomplement":
+		return BitComplement{}, nil
+	case "neighbor":
+		return Neighbor{}, nil
+	case "hotspot":
+		return Hotspot{Fraction: 0.1}, nil
+	default:
+		return nil, fmt.Errorf("traffic: unknown pattern %q", name)
+	}
+}

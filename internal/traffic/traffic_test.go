@@ -1,0 +1,148 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ebda/internal/topology"
+)
+
+func TestUniformNeverSelf(t *testing.T) {
+	net := topology.NewMesh(4, 4)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		src := topology.NodeID(r.Intn(net.Nodes()))
+		if (Uniform{}).Dest(net, src, r) == src {
+			t.Fatal("uniform returned src")
+		}
+	}
+}
+
+func TestUniformCoversAllDestinations(t *testing.T) {
+	net := topology.NewMesh(3, 3)
+	r := rand.New(rand.NewSource(2))
+	seen := map[topology.NodeID]bool{}
+	src := topology.NodeID(0)
+	for i := 0; i < 2000; i++ {
+		seen[(Uniform{}).Dest(net, src, r)] = true
+	}
+	if len(seen) != net.Nodes()-1 {
+		t.Errorf("covered %d destinations, want %d", len(seen), net.Nodes()-1)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	net := topology.NewMesh(4, 4)
+	r := rand.New(rand.NewSource(3))
+	src := net.ID(topology.Coord{1, 3})
+	dst := (Transpose{}).Dest(net, src, r)
+	if !net.Coord(dst).Equal(topology.Coord{3, 1}) {
+		t.Errorf("transpose(1,3) = %v", net.Coord(dst))
+	}
+	// Diagonal nodes map to themselves (the generator skips those).
+	diag := net.ID(topology.Coord{2, 2})
+	if (Transpose{}).Dest(net, diag, r) != diag {
+		t.Error("diagonal should map to itself")
+	}
+}
+
+func TestTransposeNonSquareClips(t *testing.T) {
+	net := topology.NewMesh(5, 3)
+	r := rand.New(rand.NewSource(4))
+	src := net.ID(topology.Coord{4, 1})
+	dst := net.Coord((Transpose{}).Dest(net, src, r))
+	if !net.InBounds(dst) {
+		t.Errorf("transpose out of bounds: %v", dst)
+	}
+}
+
+func TestBitComplement(t *testing.T) {
+	net := topology.NewMesh(4, 4)
+	r := rand.New(rand.NewSource(5))
+	src := net.ID(topology.Coord{0, 1})
+	dst := (BitComplement{}).Dest(net, src, r)
+	if !net.Coord(dst).Equal(topology.Coord{3, 2}) {
+		t.Errorf("complement(0,1) = %v", net.Coord(dst))
+	}
+}
+
+func TestNeighborWraps(t *testing.T) {
+	net := topology.NewMesh(4, 4)
+	r := rand.New(rand.NewSource(6))
+	src := net.ID(topology.Coord{3, 2})
+	dst := (Neighbor{}).Dest(net, src, r)
+	if !net.Coord(dst).Equal(topology.Coord{0, 2}) {
+		t.Errorf("neighbor(3,2) = %v", net.Coord(dst))
+	}
+}
+
+func TestHotspotBias(t *testing.T) {
+	net := topology.NewMesh(4, 4)
+	r := rand.New(rand.NewSource(7))
+	spot := net.ID(topology.Coord{2, 2})
+	h := Hotspot{Fraction: 0.5, Spots: []topology.NodeID{spot}}
+	hits := 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		if h.Dest(net, topology.NodeID(0), r) == spot {
+			hits++
+		}
+	}
+	frac := float64(hits) / trials
+	// 50% directed plus ~1/15 of the uniform remainder.
+	if frac < 0.45 || frac > 0.65 {
+		t.Errorf("hotspot fraction = %.3f, want ~0.53", frac)
+	}
+}
+
+func TestHotspotDefaultSpot(t *testing.T) {
+	net := topology.NewMesh(4, 4)
+	r := rand.New(rand.NewSource(8))
+	h := Hotspot{Fraction: 1.0}
+	centre := topology.NodeID(net.Nodes() / 2)
+	hits := 0
+	for i := 0; i < 200; i++ {
+		if h.Dest(net, topology.NodeID(0), r) == centre {
+			hits++
+		}
+	}
+	if hits < 150 {
+		t.Errorf("default hotspot hits = %d/200", hits)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"uniform", "transpose", "bit-complement", "neighbor", "hotspot"} {
+		p, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if p.Name() == "" {
+			t.Errorf("%q has empty name", name)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("bogus pattern should fail")
+	}
+}
+
+func TestQuickAllPatternsStayInBounds(t *testing.T) {
+	net := topology.NewMesh(5, 4)
+	patterns := []Pattern{Uniform{}, Transpose{}, BitComplement{}, Neighbor{}, Hotspot{Fraction: 0.3}}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := topology.NodeID(r.Intn(net.Nodes()))
+		for _, p := range patterns {
+			dst := p.Dest(net, src, r)
+			if int(dst) < 0 || int(dst) >= net.Nodes() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package updown implements Up*/Down* routing (Autonet, reference [40] of
+// the paper): the algorithm whose ordering argument the paper borrows for
+// the proof of Theorem 2. A breadth-first spanning tree orders the nodes;
+// every link is "up" (toward a smaller order index) or "down", and a legal
+// route takes zero or more up links followed by zero or more down links —
+// channels are traced in a strictly ascending order, so no cycle can form.
+//
+// Because it needs no coordinates, Up*/Down* works on irregular networks;
+// here it runs on arbitrary (possibly faulty) instances of
+// topology.Network and is verified mechanically through the same
+// channel-dependency machinery as every other algorithm in the module.
+package updown
+
+import (
+	"fmt"
+
+	"ebda/internal/channel"
+	"ebda/internal/topology"
+)
+
+// UpDown is the routing algorithm. It is not safe for concurrent use (it
+// caches per-destination reachability).
+type UpDown struct {
+	net  *topology.Network
+	root topology.NodeID
+	// order is the BFS index per node (root = 0); an up hop decreases it.
+	order []int
+	// reach caches, per destination, which (node, phase) states can
+	// still reach it: reach[dst][2*node+phase], phase 0 = may still go
+	// up, phase 1 = down only.
+	reach map[topology.NodeID][]bool
+}
+
+// New builds Up*/Down* routing on the network with the given root. It
+// fails if the network is disconnected from the root.
+func New(net *topology.Network, root topology.NodeID) (*UpDown, error) {
+	order := make([]int, net.Nodes())
+	for i := range order {
+		order[i] = -1
+	}
+	queue := []topology.NodeID{root}
+	order[root] = 0
+	next := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range neighbors(net, u) {
+			if order[v] == -1 {
+				order[v] = next
+				next++
+				queue = append(queue, v)
+			}
+		}
+	}
+	if next != net.Nodes() {
+		return nil, fmt.Errorf("updown: network disconnected (%d of %d nodes reachable from the root)",
+			next, net.Nodes())
+	}
+	return &UpDown{
+		net: net, root: root, order: order,
+		reach: make(map[topology.NodeID][]bool),
+	}, nil
+}
+
+func neighbors(net *topology.Network, u topology.NodeID) []topology.NodeID {
+	var out []topology.NodeID
+	for d := 0; d < net.Dims(); d++ {
+		for _, s := range []channel.Sign{channel.Plus, channel.Minus} {
+			if v, _, ok := net.Neighbor(u, channel.Dim(d), s); ok {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// Name implements routing.Algorithm.
+func (a *UpDown) Name() string { return "up-down" }
+
+// Order returns a node's position in the BFS ordering (the root is 0).
+func (a *UpDown) Order(id topology.NodeID) int { return a.order[id] }
+
+// isUp reports whether the hop u -> v is an up link.
+func (a *UpDown) isUp(u, v topology.NodeID) bool { return a.order[v] < a.order[u] }
+
+const (
+	phaseUp   = 0
+	phaseDown = 1
+)
+
+// reachSet lazily computes which (node, phase) states can reach dst.
+func (a *UpDown) reachSet(dst topology.NodeID) []bool {
+	if s, ok := a.reach[dst]; ok {
+		return s
+	}
+	n := a.net.Nodes()
+	set := make([]bool, 2*n)
+	set[2*int(dst)+phaseUp] = true
+	set[2*int(dst)+phaseDown] = true
+	// Fixed point over the small state graph: (u, down) reaches dst if
+	// some down hop lands in a reaching state with phase down; (u, up)
+	// additionally via up hops into phase up.
+	for changed := true; changed; {
+		changed = false
+		for u := topology.NodeID(0); int(u) < n; u++ {
+			for _, v := range neighbors(a.net, u) {
+				if a.isUp(u, v) {
+					if !set[2*int(u)+phaseUp] && set[2*int(v)+phaseUp] {
+						set[2*int(u)+phaseUp] = true
+						changed = true
+					}
+				} else {
+					if !set[2*int(u)+phaseDown] && set[2*int(v)+phaseDown] {
+						set[2*int(u)+phaseDown] = true
+						changed = true
+					}
+					if !set[2*int(u)+phaseUp] && set[2*int(v)+phaseDown] {
+						set[2*int(u)+phaseUp] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	a.reach[dst] = set
+	return set
+}
+
+// Candidates implements routing.Algorithm: every neighbor hop that keeps
+// the up*/down* discipline and from which the destination remains
+// reachable.
+func (a *UpDown) Candidates(net *topology.Network, cur topology.NodeID, in *channel.Class, dst topology.NodeID) []channel.Class {
+	set := a.reachSet(dst)
+	// Determine the current phase from the input hop: once a down link
+	// has been taken, only down links remain.
+	phase := phaseUp
+	if in != nil {
+		prev, _, ok := net.Neighbor(cur, in.Dim, in.Sign.Opposite())
+		if ok && !a.isUp(prev, cur) {
+			phase = phaseDown
+		}
+	}
+	var out []channel.Class
+	for d := 0; d < net.Dims(); d++ {
+		for _, s := range []channel.Sign{channel.Plus, channel.Minus} {
+			v, _, ok := net.Neighbor(cur, channel.Dim(d), s)
+			if !ok {
+				continue
+			}
+			up := a.isUp(cur, v)
+			if phase == phaseDown && up {
+				continue
+			}
+			nextPhase := phaseDown
+			if up {
+				nextPhase = phaseUp
+			}
+			if !set[2*int(v)+nextPhase] {
+				continue
+			}
+			out = append(out, channel.New(channel.Dim(d), s))
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package updown
+
+import (
+	"math/rand"
+	"testing"
+
+	"ebda/internal/cdg"
+	"ebda/internal/channel"
+	"ebda/internal/deadlock"
+	"ebda/internal/routing"
+	"ebda/internal/topology"
+)
+
+func TestOrderIsBFS(t *testing.T) {
+	net := topology.NewMesh(4, 4)
+	ud, err := New(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ud.Order(0) != 0 {
+		t.Error("root order should be 0")
+	}
+	seen := map[int]bool{}
+	for id := topology.NodeID(0); int(id) < net.Nodes(); id++ {
+		o := ud.Order(id)
+		if o < 0 || o >= net.Nodes() || seen[o] {
+			t.Fatalf("bad order %d for node %d", o, id)
+		}
+		seen[o] = true
+	}
+}
+
+func TestMeshVerifiesAndDelivers(t *testing.T) {
+	net := topology.NewMesh(5, 5)
+	ud, err := New(net, net.ID(topology.Coord{2, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := routing.Verify(net, nil, ud)
+	if !rep.Acyclic {
+		t.Fatalf("up*/down*: %s", rep)
+	}
+	del := routing.CheckDelivery(net, ud, 64)
+	if !del.OK() {
+		t.Errorf("up*/down*: %s", del)
+	}
+	if cfg := deadlock.Find(net, nil, ud); !cfg.Empty() {
+		t.Errorf("up*/down* should be configuration-free:\n%s", cfg)
+	}
+}
+
+func TestIrregularNetworks(t *testing.T) {
+	// Up*/Down*'s raison d'etre: it routes on irregular networks with no
+	// coordinate structure. Break a batch of links and confirm it still
+	// verifies and delivers wherever the network stays connected.
+	base := topology.NewMesh(5, 5)
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		var faults []topology.Link
+		for i := 0; i < 4; i++ {
+			from := topology.NodeID(r.Intn(base.Nodes()))
+			d := channel.Dim(r.Intn(2))
+			s := channel.Plus
+			if r.Intn(2) == 0 {
+				s = channel.Minus
+			}
+			// Break both directions to keep up/down well-defined on an
+			// undirected connectivity picture.
+			faults = append(faults, topology.Link{From: from, Dim: d, Sign: s})
+			if to, _, ok := base.Neighbor(from, d, s); ok {
+				faults = append(faults, topology.Link{From: to, Dim: d, Sign: s.Opposite()})
+			}
+		}
+		faulty := base.WithoutLinks(faults)
+		ud, err := New(faulty, 0)
+		if err != nil {
+			continue // disconnected draw; New reports it correctly
+		}
+		if rep := routing.Verify(faulty, nil, ud); !rep.Acyclic {
+			t.Fatalf("trial %d: %s", trial, rep)
+		}
+		if del := routing.CheckDelivery(faulty, ud, 96); !del.OK() {
+			t.Fatalf("trial %d: %s", trial, del)
+		}
+	}
+}
+
+func TestTorus(t *testing.T) {
+	tor := topology.NewTorus(4, 4)
+	ud, err := New(tor, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := routing.Verify(tor, nil, ud)
+	if !rep.Acyclic {
+		t.Fatalf("up*/down* on torus: %s", rep)
+	}
+	if del := routing.CheckDelivery(tor, ud, 64); !del.OK() {
+		t.Errorf("up*/down* on torus: %s", del)
+	}
+}
+
+func TestDisconnectedRejected(t *testing.T) {
+	base := topology.NewMesh(3, 2)
+	// Sever the middle column entirely: nodes (2,*) become unreachable.
+	var faults []topology.Link
+	for y := 0; y < 2; y++ {
+		from := base.ID(topology.Coord{1, y})
+		faults = append(faults, topology.Link{From: from, Dim: channel.X, Sign: channel.Plus})
+		faults = append(faults, topology.Link{From: base.ID(topology.Coord{2, y}), Dim: channel.X, Sign: channel.Minus})
+	}
+	faulty := base.WithoutLinks(faults)
+	if _, err := New(faulty, 0); err == nil {
+		t.Error("disconnected network should be rejected")
+	}
+}
+
+func TestPhaseDiscipline(t *testing.T) {
+	// Once a packet takes a down link it must never be offered an up
+	// link again: walk randomly and track phases.
+	net := topology.NewMesh(4, 4)
+	ud, err := New(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		src := topology.NodeID(r.Intn(net.Nodes()))
+		dst := topology.NodeID(r.Intn(net.Nodes()))
+		if src == dst {
+			continue
+		}
+		cur := src
+		var in *channel.Class
+		wentDown := false
+		for hops := 0; cur != dst; hops++ {
+			if hops > 64 {
+				t.Fatalf("walk too long %d -> %d", src, dst)
+			}
+			cands := ud.Candidates(net, cur, in, dst)
+			if len(cands) == 0 {
+				t.Fatalf("stuck at n%d toward n%d", cur, dst)
+			}
+			c := cands[r.Intn(len(cands))]
+			next, _, _ := net.Neighbor(cur, c.Dim, c.Sign)
+			if ud.isUp(cur, next) && wentDown {
+				t.Fatalf("up link offered after a down link (n%d -> n%d)", cur, next)
+			}
+			if !ud.isUp(cur, next) {
+				wentDown = true
+			}
+			cur = next
+			cls := c
+			in = &cls
+		}
+	}
+}
+
+func TestVerifyWithCDGTurnOrderWitness(t *testing.T) {
+	// The Theorem-2 connection: the relation admits an explicit
+	// ascending channel numbering (the witness), exactly the ordering
+	// argument the paper borrows from Up*/Down*.
+	net := topology.NewMesh(4, 4)
+	ud, err := New(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cdg.NewGraph(net, nil)
+	g.AddRoutingEdges(routing.Relation(ud))
+	if _, err := g.TopoOrder(); err != nil {
+		t.Fatalf("no ascending witness: %v", err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package viz renders reproduction artifacts as standalone SVG documents:
+// turn diagrams in the style of the paper's figures (direction arrows with
+// arcs for every permitted turn) and per-node traffic heatmaps from
+// simulator runs. Output is deterministic text, suitable for golden tests
+// and for dropping into documentation.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"ebda/internal/channel"
+	"ebda/internal/core"
+	"ebda/internal/topology"
+)
+
+// arrowGeometry describes one direction arrow of the diagram.
+type arrowGeometry struct {
+	cls        channel.Class
+	x1, y1     float64 // tail
+	x2, y2     float64 // head
+	labelX     float64
+	labelY     float64
+	labelAlign string
+}
+
+// TurnDiagram renders a 2D design's turn set in the paper's figure style:
+// one arrow per channel class radiating from the centre (virtual channels
+// fan out side by side), and one curved arc per permitted 90-degree,
+// U- or I-turn, drawn from the head of the source arrow to the tail of the
+// destination arrow. Parity-classed designs are rendered with their parity
+// subscripts as labels. Only 2D turn sets are supported.
+func TurnDiagram(ts *core.TurnSet) (string, error) {
+	classes := ts.Classes()
+	for _, c := range classes {
+		if c.Dim > channel.Y {
+			return "", fmt.Errorf("viz: turn diagrams support 2D designs only, got %s", c)
+		}
+	}
+	const (
+		cx, cy  = 160.0, 160.0
+		rTail   = 28.0
+		rHead   = 120.0
+		fanStep = 22.0
+	)
+	// Group classes by direction so VCs fan out.
+	byDir := map[[2]int][]channel.Class{}
+	for _, c := range classes {
+		key := [2]int{int(c.Dim), int(c.Sign)}
+		byDir[key] = append(byDir[key], c)
+	}
+	angleOf := func(d channel.Dim, s channel.Sign) float64 {
+		switch {
+		case d == channel.X && s == channel.Plus:
+			return 0 // east
+		case d == channel.X && s == channel.Minus:
+			return math.Pi // west
+		case d == channel.Y && s == channel.Plus:
+			return -math.Pi / 2 // north (SVG y grows downward)
+		default:
+			return math.Pi / 2 // south
+		}
+	}
+	arrows := map[channel.Class]arrowGeometry{}
+	for key, group := range byDir {
+		sort.Slice(group, func(i, j int) bool { return group[i].Compare(group[j]) < 0 })
+		ang := angleOf(channel.Dim(key[0]), channel.Sign(key[1]))
+		// Perpendicular fan offset.
+		px, py := -math.Sin(ang), math.Cos(ang)
+		for i, c := range group {
+			off := (float64(i) - float64(len(group)-1)/2) * fanStep
+			a := arrowGeometry{
+				cls: c,
+				x1:  cx + rTail*math.Cos(ang) + off*px,
+				y1:  cy + rTail*math.Sin(ang) + off*py,
+				x2:  cx + rHead*math.Cos(ang) + off*px,
+				y2:  cy + rHead*math.Sin(ang) + off*py,
+			}
+			a.labelX = cx + (rHead+22)*math.Cos(ang) + off*px
+			a.labelY = cy + (rHead+22)*math.Sin(ang) + off*py + 4
+			arrows[c] = a
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(`<svg xmlns="http://www.w3.org/2000/svg" width="320" height="320" viewBox="0 0 320 320">` + "\n")
+	b.WriteString(`  <defs><marker id="ah" markerWidth="8" markerHeight="8" refX="6" refY="3" orient="auto"><path d="M0,0 L6,3 L0,6 z" fill="#333"/></marker>` +
+		`<marker id="at" markerWidth="7" markerHeight="7" refX="5" refY="2.5" orient="auto"><path d="M0,0 L5,2.5 L0,5 z" fill="#c33"/></marker></defs>` + "\n")
+	// Direction arrows, sorted for determinism.
+	sorted := append([]channel.Class(nil), classes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Compare(sorted[j]) < 0 })
+	for _, c := range sorted {
+		a := arrows[c]
+		fmt.Fprintf(&b, `  <line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333" stroke-width="2" marker-end="url(#ah)"/>`+"\n",
+			a.x1, a.y1, a.x2, a.y2)
+		fmt.Fprintf(&b, `  <text x="%.1f" y="%.1f" font-size="11" text-anchor="middle" font-family="monospace">%s</text>`+"\n",
+			a.labelX, a.labelY, c.ShortPlain())
+	}
+	// Turn arcs: quadratic curves from the source arrow's head toward the
+	// destination arrow's tail, bowed through the midpoint pushed outward.
+	for _, t := range ts.Turns() {
+		from, okF := arrows[t.From]
+		to, okT := arrows[t.To]
+		if !okF || !okT {
+			continue
+		}
+		mx, my := (from.x2+to.x1)/2, (from.y2+to.y1)/2
+		// Push the control point away from the centre for visibility.
+		dx, dy := mx-160, my-160
+		norm := math.Hypot(dx, dy)
+		if norm < 1 {
+			dx, dy, norm = 1, 0, 1
+		}
+		cxp, cyp := mx+22*dx/norm, my+22*dy/norm
+		color := "#c33"
+		if t.Kind() != core.Turn90 {
+			color = "#36c"
+		}
+		fmt.Fprintf(&b, `  <path d="M %.1f %.1f Q %.1f %.1f %.1f %.1f" fill="none" stroke="%s" stroke-width="1.3" marker-end="url(#at)"/>`+"\n",
+			from.x2, from.y2, cxp, cyp, to.x1, to.y1, color)
+	}
+	n90, nU, nI := ts.Counts()
+	fmt.Fprintf(&b, `  <text x="8" y="312" font-size="10" font-family="monospace">%d turns: %d x 90deg, %d U, %d I (red: 90deg, blue: U/I)</text>`+"\n",
+		n90+nU+nI, n90, nU, nI)
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// Heatmap renders per-node loads of a 2D mesh as a shaded grid (row 0 at
+// the bottom, as in the paper's coordinate convention).
+func Heatmap(net *topology.Network, loads []int) (string, error) {
+	if net.Dims() != 2 {
+		return "", fmt.Errorf("viz: heatmaps support 2D meshes only")
+	}
+	if len(loads) != net.Nodes() {
+		return "", fmt.Errorf("viz: %d loads for %d nodes", len(loads), net.Nodes())
+	}
+	w, h := net.Sizes()[0], net.Sizes()[1]
+	max := 1
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	const cell = 28
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n",
+		w*cell+20, h*cell+30)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			l := loads[net.ID(topology.Coord{x, y})]
+			// Light yellow to dark red.
+			frac := float64(l) / float64(max)
+			r := 255
+			g := int(235 * (1 - frac*0.85))
+			bl := int(205 * (1 - frac))
+			fmt.Fprintf(&b, `  <rect x="%d" y="%d" width="%d" height="%d" fill="rgb(%d,%d,%d)" stroke="#999"/>`+"\n",
+				10+x*cell, 10+(h-1-y)*cell, cell, cell, r, g, bl)
+		}
+	}
+	fmt.Fprintf(&b, `  <text x="10" y="%d" font-size="10" font-family="monospace">max %d flits/node</text>`+"\n",
+		h*cell+24, max)
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}

@@ -1,0 +1,96 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"ebda/internal/core"
+	"ebda/internal/topology"
+)
+
+func TestTurnDiagramNorthLast(t *testing.T) {
+	chain := core.MustParseChain("PA[X+ X- Y-] -> PB[Y+]")
+	ts := chain.AllTurns()
+	svg, err := TurnDiagram(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Error("not a well-formed SVG document")
+	}
+	// One line per channel class.
+	if got := strings.Count(svg, "<line "); got != 4 {
+		t.Errorf("arrows = %d, want 4", got)
+	}
+	// One arc per turn (6 x 90 + 2 U).
+	if got := strings.Count(svg, "<path d=\"M "); got != 8 {
+		t.Errorf("arcs = %d, want 8", got)
+	}
+	for _, label := range []string{">E<", ">W<", ">N<", ">S<"} {
+		if !strings.Contains(svg, label) {
+			t.Errorf("missing label %s", label)
+		}
+	}
+	if !strings.Contains(svg, "8 turns: 6 x 90deg, 2 U, 0 I") {
+		t.Error("missing caption")
+	}
+}
+
+func TestTurnDiagramVCsFanOut(t *testing.T) {
+	chain := core.MustParseChain("PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]")
+	svg, err := TurnDiagram(chain.AllTurns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(svg, "<line "); got != 6 {
+		t.Errorf("arrows = %d, want 6 (six channels)", got)
+	}
+	for _, label := range []string{">N2<", ">S2<"} {
+		if !strings.Contains(svg, label) {
+			t.Errorf("missing VC label %s", label)
+		}
+	}
+}
+
+func TestTurnDiagramRejects3D(t *testing.T) {
+	chain := core.MustParseChain("PA[X+ Y+ Z+ Z-]")
+	if _, err := TurnDiagram(chain.AllTurns()); err == nil {
+		t.Error("3D should be rejected")
+	}
+}
+
+func TestTurnDiagramDeterministic(t *testing.T) {
+	chain := core.MustParseChain("PA[X- Y-] -> PB[X+ Y+]")
+	a, err := TurnDiagram(chain.AllTurns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TurnDiagram(chain.AllTurns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("diagram not deterministic")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	net := topology.NewMesh(3, 2)
+	loads := []int{0, 1, 2, 3, 4, 5}
+	svg, err := Heatmap(net, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(svg, "<rect "); got != 6 {
+		t.Errorf("cells = %d, want 6", got)
+	}
+	if !strings.Contains(svg, "max 5 flits/node") {
+		t.Error("missing caption")
+	}
+	if _, err := Heatmap(net, []int{1, 2}); err == nil {
+		t.Error("wrong load length should fail")
+	}
+	if _, err := Heatmap(topology.NewMesh(2, 2, 2), make([]int, 8)); err == nil {
+		t.Error("3D should be rejected")
+	}
+}
