@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench repro fmt vet check clean
+.PHONY: all build test race bench bench-json repro fmt vet check clean
 
 all: check
 
@@ -18,6 +18,10 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# Write the perf snapshot (per-experiment wall time, CDG channels/sec).
+bench-json:
+	$(GO) run ./cmd/ebda-repro -quick -benchjson BENCH_verify.json
+
 # Regenerate every table and figure of the paper (paper-vs-measured).
 repro:
 	$(GO) run ./cmd/ebda-repro -details
@@ -28,7 +32,8 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: build vet test
+# race is part of check so the worker pools are race-tested routinely.
+check: build vet test race
 
 clean:
 	$(GO) clean ./...

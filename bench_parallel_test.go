@@ -1,0 +1,101 @@
+// Benchmarks for the parallel verification and simulation paths: each
+// compares the serial (jobs=1) baseline against the all-cores worker pool
+// on the same workload, so `go test -bench Parallel` shows the scaling on
+// the machine at hand. The outputs are deterministic across jobs values
+// (see the determinism tests), so the sub-benchmarks verify identical
+// results while timing them.
+package ebda_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"ebda/internal/cdg"
+	"ebda/internal/paper"
+	"ebda/internal/routing"
+	"ebda/internal/sim"
+	"ebda/internal/topology"
+)
+
+// jobsVariants is the worker counts worth timing: the serial baseline and
+// every core the host offers (deduplicated on single-core machines).
+func jobsVariants() []int {
+	n := runtime.GOMAXPROCS(0)
+	if n <= 1 {
+		return []int{1}
+	}
+	return []int{1, n}
+}
+
+// BenchmarkVerifyParallel times full CDG construction + acyclicity of the
+// six-channel fully adaptive design on a 32x32 mesh at each worker count.
+func BenchmarkVerifyParallel(b *testing.B) {
+	chain := paper.Figure7P1()
+	net := topology.NewMesh(32, 32)
+	ts := chain.AllTurns()
+	vcs := cdg.VCConfigFor(2, chain.Channels())
+	want := cdg.VerifyTurnSetJobs(net, vcs, ts, 1)
+	for _, jobs := range jobsVariants() {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep := cdg.VerifyTurnSetJobs(net, vcs, ts, jobs)
+				if !rep.Acyclic || rep.Edges != want.Edges {
+					b.Fatalf("jobs=%d: %s (want %d edges)", jobs, rep, want.Edges)
+				}
+			}
+			b.ReportMetric(float64(want.Channels)*float64(b.N)/b.Elapsed().Seconds(), "channels/s")
+		})
+	}
+}
+
+// BenchmarkRoutingEdgesParallel times the Dally routing-relation
+// construction (per-destination closure) at each worker count, through the
+// adaptive Figure 7 design whose memoizing Candidates is shared across the
+// pool.
+func BenchmarkRoutingEdgesParallel(b *testing.B) {
+	net := topology.NewMesh(16, 16)
+	chain := paper.Figure7P1()
+	vcs := cdg.VCConfigFor(2, chain.Channels())
+	want := -1
+	for _, jobs := range jobsVariants() {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// A fresh algorithm per iteration so the memo warms up
+				// inside the timed region, like a first verification.
+				alg := routing.NewFromChain("dyxy", chain, 2)
+				rep := routing.VerifyJobs(net, vcs, alg, jobs)
+				if !rep.Acyclic || (want >= 0 && rep.Edges != want) {
+					b.Fatalf("jobs=%d: %s", jobs, rep)
+				}
+				want = rep.Edges
+			}
+		})
+	}
+}
+
+// BenchmarkRunSeedsParallel times replicated simulation at each worker
+// count: 8 seeds of the fully adaptive design on an 8x8 mesh.
+func BenchmarkRunSeedsParallel(b *testing.B) {
+	chain := paper.Figure7P1()
+	alg := routing.NewFromChain("dyxy", chain, 2)
+	cfg := sim.Config{
+		Net: topology.NewMesh(8, 8), Alg: alg, VCs: alg.VCs(),
+		InjectionRate: 0.2, Seed: 1,
+		Warmup: 200, Measure: 800, Drain: 400,
+	}
+	want := sim.RunSeedsJobs(cfg, 8, 1)
+	for _, jobs := range jobsVariants() {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep := sim.RunSeedsJobs(cfg, 8, jobs)
+				if rep != want {
+					b.Fatalf("jobs=%d diverged from serial baseline", jobs)
+				}
+			}
+			b.ReportMetric(8*float64(b.N)/b.Elapsed().Seconds(), "runs/s")
+		})
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ebda-repro [-quick] [-details] [-markdown|-json] [-only E06]
+//	ebda-repro [-quick] [-details] [-markdown|-json] [-only E06] [-jobs N] [-benchjson FILE]
 package main
 
 import (
@@ -24,38 +24,61 @@ func main() {
 	only := flag.String("only", "", "run a single experiment by ID (e.g. E06)")
 	markdown := flag.Bool("markdown", false, "emit a Markdown summary table (EXPERIMENTS.md style)")
 	jsonOut := flag.Bool("json", false, "emit results as a JSON array")
+	jobs := flag.Int("jobs", 0, "worker pool size for running experiments (0 = all cores)")
+	benchJSON := flag.String("benchjson", "", "write a perf snapshot (wall time per experiment, CDG channels/sec) to this file, e.g. BENCH_verify.json")
 	flag.Parse()
 
 	opts := experiments.Options{Quick: *quick}
-	failures := 0
-	ran := 0
-	var collected []experiments.Result
-	if *markdown {
-		fmt.Println("| ID | Artifact | Paper claim | Measured | Match |")
-		fmt.Println("|---|---|---|---|---|")
+
+	if *benchJSON != "" {
+		if err := writeBench(*benchJSON, opts, *jobs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+		return
 	}
+
+	var selected []experiments.Runner
 	for _, r := range experiments.All() {
 		if *only != "" && !strings.EqualFold(r.ID, *only) {
 			continue
 		}
-		res := r.Run(opts)
-		res.ID, res.Name = r.ID, r.Name
-		if *jsonOut {
-			collected = append(collected, res)
-			ran++
-			if !res.Match {
-				failures++
-			}
-			continue
+		selected = append(selected, r)
+	}
+	if len(selected) == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matches %q\n", *only)
+		os.Exit(2)
+	}
+
+	// Experiments fan out over the pool; results come back in canonical
+	// All() order, so every output mode prints deterministically.
+	results := experiments.RunRunnersJobs(selected, opts, *jobs)
+
+	failures := 0
+	// The Markdown header is emitted lazily, once the first matching
+	// result is about to print — never above an error exit.
+	headerDone := false
+	for _, res := range results {
+		if !res.Match {
+			failures++
 		}
-		if *markdown {
+		switch {
+		case *jsonOut:
+			// Collected below; nothing to print per row.
+		case *markdown:
+			if !headerDone {
+				fmt.Println("| ID | Artifact | Paper claim | Measured | Match |")
+				fmt.Println("|---|---|---|---|---|")
+				headerDone = true
+			}
 			mark := "✔"
 			if !res.Match {
 				mark = "✘"
 			}
 			fmt.Printf("| %s | %s | %s | %s | %s |\n",
 				res.ID, res.Name, escapeMD(res.Paper), escapeMD(res.Measured), mark)
-		} else {
+		default:
 			fmt.Println(res)
 			if *details {
 				for _, d := range res.Details {
@@ -63,19 +86,11 @@ func main() {
 				}
 			}
 		}
-		ran++
-		if !res.Match {
-			failures++
-		}
-	}
-	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiment matches %q\n", *only)
-		os.Exit(2)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(collected); err != nil {
+		if err := enc.Encode(results); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -84,10 +99,24 @@ func main() {
 		}
 		return
 	}
-	fmt.Printf("\n%d experiments, %d mismatches\n", ran, failures)
+	fmt.Printf("\n%d experiments, %d mismatches\n", len(results), failures)
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeBench runs the perf harness and writes the JSON snapshot.
+func writeBench(path string, opts experiments.Options, jobs int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	b := experiments.RunBench(opts, jobs)
+	if err := b.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // escapeMD keeps table cells on one line and pipe-free.

@@ -35,6 +35,7 @@ func main() {
 	noUI := flag.Bool("no-ui-turns", false, "exclude Theorem-2/3 U- and I-turns")
 	dot := flag.String("dot", "", "write the dependency graph in Graphviz format to this file")
 	witness := flag.Bool("witness", false, "print the topological channel numbering (the deadlock-freedom witness)")
+	jobs := flag.Int("jobs", 0, "worker pool size for graph construction (0 = all cores)")
 	flag.Parse()
 
 	net, err := buildNet(*meshSpec, *torusSpec)
@@ -92,8 +93,17 @@ func main() {
 
 	n90, nU, nI := ts.Counts()
 	fmt.Printf("turn set: %d 90-degree, %d U, %d I\n", n90, nU, nI)
-	g := cdg.BuildFromTurnSet(net, vcs, ts)
-	rep := cdg.VerifyTurnSet(net, vcs, ts)
+	// Build once over the worker pool and derive the report from the same
+	// graph (the construction is deterministic for every jobs value).
+	g := cdg.BuildFromTurnSetJobs(net, vcs, ts, *jobs)
+	cyc := g.FindCycle()
+	rep := cdg.Report{
+		Network:  net.String(),
+		Channels: g.NumChannels(),
+		Edges:    g.NumEdges(),
+		Acyclic:  cyc == nil,
+		Cycle:    cyc,
+	}
 	fmt.Println(rep)
 	ok := rep.Acyclic
 	if *dot != "" {

@@ -14,7 +14,11 @@ package cdg
 
 import (
 	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
 
 	"ebda/internal/channel"
 	"ebda/internal/core"
@@ -79,16 +83,26 @@ func (c Channel) String() string {
 }
 
 // Graph is a channel dependency graph over a concrete network.
+//
+// Adjacency lists are kept sorted ascending at all times (AddEdge inserts
+// in order; the bulk constructors emit sorted runs), so membership tests
+// binary-search and all traversal output is independent of how many
+// workers built the graph.
 type Graph struct {
 	net      *topology.Network
 	vcs      VCConfig
 	channels []Channel
-	// byHead[v] lists indices of channels whose Link.To == v.
+	// byHead[v] lists indices of channels whose Link.To == v, ascending.
 	byHead [][]int32
-	// byTail[v] lists indices of channels whose Link.From == v.
+	// byTail[v] lists indices of channels whose Link.From == v, ascending.
 	byTail [][]int32
 	adj    [][]int32
 	edges  int
+	// tailIndex is the dense (node, dim, sign, vc) -> channel index table
+	// behind the O(1) FindChannel; -1 marks absent channels. maxVC is the
+	// per-dimension stride.
+	tailIndex []int32
+	maxVC     int
 }
 
 // NewGraph enumerates the concrete channels of the network under the VC
@@ -99,6 +113,16 @@ func NewGraph(net *topology.Network, vcs VCConfig) *Graph {
 		vcs:    vcs,
 		byHead: make([][]int32, net.Nodes()),
 		byTail: make([][]int32, net.Nodes()),
+		maxVC:  1,
+	}
+	for d := 0; d < net.Dims(); d++ {
+		if v := vcs.VCs(channel.Dim(d)); v > g.maxVC {
+			g.maxVC = v
+		}
+	}
+	g.tailIndex = make([]int32, net.Nodes()*net.Dims()*2*g.maxVC)
+	for i := range g.tailIndex {
+		g.tailIndex[i] = -1
 	}
 	for _, link := range net.Links() {
 		for vc := 1; vc <= vcs.VCs(link.Dim); vc++ {
@@ -106,10 +130,20 @@ func NewGraph(net *topology.Network, vcs VCConfig) *Graph {
 			g.channels = append(g.channels, Channel{Link: link, VC: vc, Index: idx})
 			g.byHead[link.To] = append(g.byHead[link.To], int32(idx))
 			g.byTail[link.From] = append(g.byTail[link.From], int32(idx))
+			g.tailIndex[g.tailSlot(link.From, link.Dim, link.Sign, vc)] = int32(idx)
 		}
 	}
 	g.adj = make([][]int32, len(g.channels))
 	return g
+}
+
+// tailSlot computes the dense tailIndex position of (from, d, sign, vc).
+func (g *Graph) tailSlot(from topology.NodeID, d channel.Dim, sign channel.Sign, vc int) int {
+	s := 0
+	if sign == channel.Minus {
+		s = 1
+	}
+	return ((int(from)*g.net.Dims()+int(d))*2+s)*g.maxVC + (vc - 1)
 }
 
 // Net returns the underlying network.
@@ -133,93 +167,154 @@ func (g *Graph) Into(v topology.NodeID) []int32 { return g.byHead[v] }
 // OutOf returns the channels whose tail is node v.
 func (g *Graph) OutOf(v topology.NodeID) []int32 { return g.byTail[v] }
 
-// AddEdge adds a dependency edge between two channel indices.
+// AddEdge adds a dependency edge between two channel indices, keeping the
+// successor list sorted.
 func (g *Graph) AddEdge(from, to int) {
-	g.adj[from] = append(g.adj[from], int32(to))
+	g.adj[from] = insertSorted(g.adj[from], int32(to))
 	g.edges++
 }
 
-// Succs returns the dependency successors of a channel index. The slice
-// must not be modified.
+// insertSorted places v into its ordered position in row. The common bulk
+// case (v not below the current maximum) is a plain append.
+func insertSorted(row []int32, v int32) []int32 {
+	if n := len(row); n == 0 || row[n-1] <= v {
+		return append(row, v)
+	}
+	i := sort.Search(len(row), func(k int) bool { return row[k] >= v })
+	row = append(row, 0)
+	copy(row[i+1:], row[i:])
+	row[i] = v
+	return row
+}
+
+// Succs returns the dependency successors of a channel index, ascending.
+// The slice must not be modified.
 func (g *Graph) Succs(i int) []int32 { return g.adj[i] }
 
 // HasEdge reports whether the dependency edge from one channel index to
-// another exists.
+// another exists. Successor lists are sorted, so this is a binary search.
 func (g *Graph) HasEdge(from, to int) bool {
-	for _, s := range g.adj[from] {
-		if s == int32(to) {
-			return true
-		}
-	}
-	return false
+	row := g.adj[from]
+	i := sort.Search(len(row), func(k int) bool { return row[k] >= int32(to) })
+	return i < len(row) && row[i] == int32(to)
 }
 
 // FindChannel locates the concrete channel leaving a node in the given
-// direction on the given VC.
+// direction on the given VC via the dense tail-index table — O(1), no
+// scan of the node's channel list.
 func (g *Graph) FindChannel(from topology.NodeID, d channel.Dim, sign channel.Sign, vc int) (Channel, bool) {
-	for _, i := range g.byTail[from] {
-		ch := g.channels[i]
-		if ch.Link.Dim == d && ch.Link.Sign == sign && ch.VC == vc {
-			return ch, true
-		}
+	if int(d) >= g.net.Dims() || vc < 1 || vc > g.maxVC {
+		return Channel{}, false
+	}
+	if idx := g.tailIndex[g.tailSlot(from, d, sign, vc)]; idx >= 0 {
+		return g.channels[idx], true
 	}
 	return Channel{}, false
 }
 
-// matchClasses returns, for a concrete channel, which of the given abstract
-// classes it instantiates. Parity restrictions are evaluated against the
-// channel's tail-node coordinate in the class's parity dimension (a channel
-// does not move in dimensions other than its own, so head and tail agree
-// there except on its own-dimension wraparound, which parity classes may
-// not reference).
-func (g *Graph) matchClasses(ch Channel, classes []channel.Class) []channel.Class {
-	var out []channel.Class
+// resolveJobs turns a jobs request (0 = all cores) into a worker count
+// bounded by the number of independent shards.
+func resolveJobs(jobs, shards int) int {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > shards {
+		jobs = shards
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	return jobs
+}
+
+// matchClassIdx returns, for a concrete channel, the interned indices of
+// the matrix classes it instantiates. Parity restrictions are evaluated
+// against the channel's tail-node coordinate in the class's parity
+// dimension (a channel does not move in dimensions other than its own, so
+// head and tail agree there except on its own-dimension wraparound, which
+// parity classes may not reference).
+func (g *Graph) matchClassIdx(ch Channel, m *core.AllowMatrix) []int32 {
+	var out []int32
 	coord := g.net.Coord(ch.Link.From)
-	for _, cls := range classes {
+	for i, cls := range m.Classes() {
 		if cls.Dim != ch.Link.Dim || cls.Sign != ch.Link.Sign || cls.VC != ch.VC {
 			continue
 		}
 		if cls.Par != channel.Any && !cls.Par.Matches(coord[cls.PDim]) {
 			continue
 		}
-		out = append(out, cls)
+		out = append(out, int32(i))
 	}
 	return out
 }
 
 // AddTurnEdges adds a dependency edge for every pair of concrete channels
-// (a into v, b out of v) whose classes are related by the turn set. It
-// returns the number of edges added.
-func (g *Graph) AddTurnEdges(ts *core.TurnSet) int {
-	classes := ts.Classes()
-	// Precompute class matches per channel.
-	matched := make([][]channel.Class, len(g.channels))
-	for i, ch := range g.channels {
-		matched[i] = g.matchClasses(ch, classes)
-	}
-	added := 0
-	for v := topology.NodeID(0); int(v) < g.net.Nodes(); v++ {
-		for _, ai := range g.byHead[v] {
-			for _, bi := range g.byTail[v] {
-				if g.allowed(matched[ai], matched[bi], ts) {
-					g.AddEdge(int(ai), int(bi))
-					added++
+// (a into v, b out of v) whose classes are related by the turn set, using
+// every available core. It returns the number of edges added.
+func (g *Graph) AddTurnEdges(ts *core.TurnSet) int { return g.AddTurnEdgesJobs(ts, 0) }
+
+// AddTurnEdgesJobs is AddTurnEdges over a bounded worker pool (jobs <= 0
+// means all cores). Nodes shard perfectly: the dependency a->b exists via
+// the single node where a's head meets b's tail, so every channel's
+// successor list is owned by exactly one node and workers write disjoint
+// rows. The result — row contents and order — is identical for every
+// worker count.
+func (g *Graph) AddTurnEdgesJobs(ts *core.TurnSet, jobs int) int {
+	m := ts.Matrix()
+	nc := len(g.channels)
+	workers := resolveJobs(jobs, g.net.Nodes())
+	// Phase 1: intern class matches per channel (independent per channel).
+	matched := make([][]int32, nc)
+	parallelFor(workers, func(w int) {
+		for i := w; i < nc; i += workers {
+			matched[i] = g.matchClassIdx(g.channels[i], m)
+		}
+	})
+	// Phase 2: per-node edge construction. byTail rows are ascending, so
+	// appends keep adjacency sorted.
+	counts := make([]int, workers)
+	nodes := g.net.Nodes()
+	parallelFor(workers, func(w int) {
+		added := 0
+		for v := w; v < nodes; v += workers {
+			for _, ai := range g.byHead[v] {
+				row := g.adj[ai]
+				for _, bi := range g.byTail[v] {
+					if m.AllowsAny(matched[ai], matched[bi]) {
+						row = insertSorted(row, bi)
+						added++
+					}
 				}
+				g.adj[ai] = row
 			}
 		}
+		counts[w] = added
+	})
+	added := 0
+	for _, c := range counts {
+		added += c
 	}
+	g.edges += added
 	return added
 }
 
-func (g *Graph) allowed(from, to []channel.Class, ts *core.TurnSet) bool {
-	for _, a := range from {
-		for _, b := range to {
-			if ts.Allows(a, b) {
-				return true
-			}
-		}
+// parallelFor runs fn(w) for w in [0, workers) on separate goroutines
+// (inline when one suffices) and waits for all of them. Each fn must
+// stride its shard range by the same workers count it was resolved with.
+func parallelFor(workers int, fn func(w int)) {
+	if workers <= 1 {
+		fn(0)
+		return
 	}
-	return false
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
 }
 
 // RoutingRelation describes a routing function for dependency extraction:
@@ -233,62 +328,126 @@ type RoutingRelation func(g *Graph, at topology.NodeID, in *Channel, dst topolog
 // from some injection under the routing function) may request channel b.
 // This is the classic Dally construction: for each destination a forward
 // closure is computed from the injection candidates of every source, and
-// only transitions of reachable packet states become dependencies.
+// only transitions of reachable packet states become dependencies. All
+// cores are used; see AddRoutingEdgesJobs.
 func (g *Graph) AddRoutingEdges(route RoutingRelation) int {
-	added := 0
-	type edge struct{ a, b int32 }
-	seen := make(map[edge]bool)
-	usable := make([]bool, len(g.channels))
-	var queue []int32
-	for dst := topology.NodeID(0); int(dst) < g.net.Nodes(); dst++ {
-		for i := range usable {
-			usable[i] = false
-		}
-		queue = queue[:0]
-		// Injection states: the candidates offered to freshly injected
-		// packets at every source.
-		for src := topology.NodeID(0); int(src) < g.net.Nodes(); src++ {
-			if src == dst {
-				continue
+	return g.AddRoutingEdgesJobs(route, 0)
+}
+
+// AddRoutingEdgesJobs is AddRoutingEdges sharded by destination over a
+// bounded worker pool (jobs <= 0 means all cores). Each worker records the
+// edges its destinations induce in a dense per-worker bitset; the bitsets
+// are then OR-merged row-wise into sorted successor lists, so the
+// resulting graph — edge set and adjacency order — is bit-identical for
+// every worker count. The route function is called concurrently from
+// multiple goroutines when jobs > 1 and must be safe for that (all
+// algorithms in this repository are).
+func (g *Graph) AddRoutingEdgesJobs(route RoutingRelation, jobs int) int {
+	nc := len(g.channels)
+	if nc == 0 {
+		return 0
+	}
+	nodes := g.net.Nodes()
+	workers := resolveJobs(jobs, nodes)
+	words := (nc + 63) / 64
+	// seen[w] is worker w's nc x nc edge bitset, rows of `words` words.
+	seen := make([][]uint64, workers)
+	parallelFor(workers, func(w int) {
+		bits := make([]uint64, nc*words)
+		seen[w] = bits
+		usable := make([]bool, nc)
+		queue := make([]int32, 0, nc)
+		for dst := topology.NodeID(w); int(dst) < nodes; dst += topology.NodeID(workers) {
+			for i := range usable {
+				usable[i] = false
 			}
-			for _, bi := range route(g, src, nil, dst) {
-				if !usable[bi] {
-					usable[bi] = true
-					queue = append(queue, int32(bi))
+			queue = queue[:0]
+			// Injection states: the candidates offered to freshly
+			// injected packets at every source.
+			for src := topology.NodeID(0); int(src) < nodes; src++ {
+				if src == dst {
+					continue
+				}
+				for _, bi := range route(g, src, nil, dst) {
+					if !usable[bi] {
+						usable[bi] = true
+						queue = append(queue, int32(bi))
+					}
+				}
+			}
+			// Forward closure.
+			for len(queue) > 0 {
+				ai := queue[len(queue)-1]
+				queue = queue[:len(queue)-1]
+				ch := g.channels[ai]
+				at := ch.Link.To
+				if at == dst {
+					continue
+				}
+				row := bits[int(ai)*words:]
+				for _, bi := range route(g, at, &ch, dst) {
+					row[bi/64] |= 1 << uint(bi%64)
+					if !usable[bi] {
+						usable[bi] = true
+						queue = append(queue, int32(bi))
+					}
 				}
 			}
 		}
-		// Forward closure.
-		for len(queue) > 0 {
-			ai := queue[len(queue)-1]
-			queue = queue[:len(queue)-1]
-			ch := g.channels[ai]
-			at := ch.Link.To
-			if at == dst {
+	})
+	// Merge: OR the per-worker rows and expand set bits in ascending
+	// order. Rows are independent, so the merge shards over channels.
+	counts := make([]int, workers)
+	parallelFor(workers, func(w int) {
+		added := 0
+		merged := make([]uint64, words)
+		for a := w; a < nc; a += workers {
+			for i := range merged {
+				merged[i] = 0
+			}
+			any := false
+			for _, bits := range seen {
+				row := bits[a*words : (a+1)*words]
+				for i, word := range row {
+					merged[i] |= word
+					any = any || word != 0
+				}
+			}
+			if !any {
 				continue
 			}
-			for _, bi := range route(g, at, &ch, dst) {
-				e := edge{ai, int32(bi)}
-				if !seen[e] {
-					seen[e] = true
-					g.AddEdge(int(ai), bi)
+			row := g.adj[a]
+			for i, word := range merged {
+				for ; word != 0; word &= word - 1 {
+					b := int32(i*64 + bits.TrailingZeros64(word))
+					row = insertSorted(row, b)
 					added++
 				}
-				if !usable[bi] {
-					usable[bi] = true
-					queue = append(queue, int32(bi))
-				}
 			}
+			g.adj[a] = row
 		}
+		counts[w] = added
+	})
+	added := 0
+	for _, c := range counts {
+		added += c
 	}
+	g.edges += added
 	return added
 }
 
 // BuildFromTurnSet constructs the dependency graph induced by a turn set on
-// a network.
+// a network, using every available core.
 func BuildFromTurnSet(net *topology.Network, vcs VCConfig, ts *core.TurnSet) *Graph {
+	return BuildFromTurnSetJobs(net, vcs, ts, 0)
+}
+
+// BuildFromTurnSetJobs is BuildFromTurnSet over a bounded worker pool
+// (jobs <= 0 means all cores). The graph is identical for every jobs
+// value.
+func BuildFromTurnSetJobs(net *topology.Network, vcs VCConfig, ts *core.TurnSet, jobs int) *Graph {
 	g := NewGraph(net, vcs)
-	g.AddTurnEdges(ts)
+	g.AddTurnEdgesJobs(ts, jobs)
 	return g
 }
 
@@ -474,9 +633,15 @@ func (r Report) String() string {
 }
 
 // VerifyTurnSet builds the dependency graph of a turn set on a network and
-// checks acyclicity.
+// checks acyclicity, using every available core for the build.
 func VerifyTurnSet(net *topology.Network, vcs VCConfig, ts *core.TurnSet) Report {
-	g := BuildFromTurnSet(net, vcs, ts)
+	return VerifyTurnSetJobs(net, vcs, ts, 0)
+}
+
+// VerifyTurnSetJobs is VerifyTurnSet over a bounded worker pool (jobs <= 0
+// means all cores); the report is identical for every jobs value.
+func VerifyTurnSetJobs(net *topology.Network, vcs VCConfig, ts *core.TurnSet, jobs int) Report {
+	g := BuildFromTurnSetJobs(net, vcs, ts, jobs)
 	cyc := g.FindCycle()
 	return Report{
 		Network:  net.String(),

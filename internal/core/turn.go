@@ -224,6 +224,82 @@ func (s *TurnSet) Classes() []channel.Class {
 	return out
 }
 
+// AllowMatrix is an immutable dense snapshot of a turn set's transition
+// relation over interned class indices. Hot loops (channel-dependency
+// extraction, path counting) use it in place of TurnSet.Allows to avoid
+// hashing struct keys per query: classes are interned once, then every
+// Allows test is one bit probe.
+//
+// The matrix reflects the turn set at the time Matrix was called; turns
+// added later are not visible.
+type AllowMatrix struct {
+	classes []channel.Class
+	index   map[channel.Class]int32
+	words   int
+	// rows[i*words : (i+1)*words] is the bitset of classes reachable
+	// from class i.
+	rows []uint64
+}
+
+// Matrix builds the dense allow-matrix of the set's current state. Class
+// indices follow Classes() order (sorted), and same-class continuation of
+// declared classes is included, matching Allows.
+func (s *TurnSet) Matrix() *AllowMatrix {
+	classes := s.Classes()
+	m := &AllowMatrix{
+		classes: classes,
+		index:   make(map[channel.Class]int32, len(classes)),
+		words:   (len(classes) + 63) / 64,
+	}
+	m.rows = make([]uint64, len(classes)*m.words)
+	for i, c := range classes {
+		m.index[c] = int32(i)
+	}
+	for i, from := range classes {
+		row := m.rows[i*m.words : (i+1)*m.words]
+		for j, to := range classes {
+			if s.Allows(from, to) {
+				row[j/64] |= 1 << uint(j%64)
+			}
+		}
+	}
+	return m
+}
+
+// NumClasses returns the number of interned classes.
+func (m *AllowMatrix) NumClasses() int { return len(m.classes) }
+
+// Classes returns the interned classes in index order. The slice must not
+// be modified.
+func (m *AllowMatrix) Classes() []channel.Class { return m.classes }
+
+// Index returns the interned index of a class, or false if the class was
+// not part of the set when the matrix was built.
+func (m *AllowMatrix) Index(c channel.Class) (int, bool) {
+	i, ok := m.index[c]
+	return int(i), ok
+}
+
+// Allows reports whether the transition from class index from to class
+// index to is permitted.
+func (m *AllowMatrix) Allows(from, to int) bool {
+	return m.rows[from*m.words+to/64]&(1<<uint(to%64)) != 0
+}
+
+// AllowsAny reports whether any (from, to) pair across the two index sets
+// is permitted — the inner test of dependency-edge construction.
+func (m *AllowMatrix) AllowsAny(from, to []int32) bool {
+	for _, a := range from {
+		row := m.rows[int(a)*m.words:]
+		for _, b := range to {
+			if row[b/64]&(1<<uint(b%64)) != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Union returns a new set containing the turns and declared classes of
 // both sets.
 func (s *TurnSet) Union(o *TurnSet) *TurnSet {

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"ebda/internal/cdg"
+	"ebda/internal/core"
+	"ebda/internal/topology"
+)
+
+// BenchExperiment records the wall time of one reproduction experiment.
+type BenchExperiment struct {
+	ID          string  `json:"id"`
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Match       bool    `json:"match"`
+}
+
+// BenchCDG records the construction rate of one channel dependency graph:
+// the core verification primitive, expressed as channels processed per
+// second so snapshots are comparable across network sizes.
+type BenchCDG struct {
+	Network        string  `json:"network"`
+	Channels       int     `json:"channels"`
+	Edges          int     `json:"edges"`
+	Acyclic        bool    `json:"acyclic"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	ChannelsPerSec float64 `json:"channels_per_sec"`
+}
+
+// Bench is the perf snapshot written by `ebda-repro -benchjson` (the
+// BENCH_verify.json file): per-experiment wall times plus CDG construction
+// rates, stamped with the parallelism it ran under.
+type Bench struct {
+	GeneratedAt string            `json:"generated_at"`
+	GoMaxProcs  int               `json:"gomaxprocs"`
+	Jobs        int               `json:"jobs"`
+	Quick       bool              `json:"quick"`
+	Experiments []BenchExperiment `json:"experiments"`
+	CDG         []BenchCDG        `json:"cdg"`
+}
+
+// benchCDGCases are the networks the snapshot times: the six-channel fully
+// adaptive design (the paper's Figure 7 flagship) on growing meshes, all
+// built through the jobs-aware constructor.
+func benchCDGCases() []*topology.Network {
+	return []*topology.Network{
+		topology.NewMesh(16, 16),
+		topology.NewMesh(32, 32),
+		topology.NewMesh(48, 48),
+	}
+}
+
+// RunBench executes every experiment and the CDG construction cases,
+// timing each, and returns the snapshot. Experiments run one at a time so
+// their wall times are not polluted by sibling load; jobs (<= 0 means all
+// cores) sets the intra-build parallelism of the CDG cases.
+func RunBench(opts Options, jobs int) Bench {
+	b := Bench{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Jobs:        jobs,
+		Quick:       opts.Quick,
+	}
+	for _, r := range All() {
+		start := time.Now()
+		res := r.Run(opts)
+		b.Experiments = append(b.Experiments, BenchExperiment{
+			ID: r.ID, Name: r.Name,
+			WallSeconds: time.Since(start).Seconds(),
+			Match:       res.Match,
+		})
+	}
+	chain := core.MustParseChain("PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]")
+	ts := chain.AllTurns()
+	vcs := cdg.VCConfigFor(2, chain.Channels())
+	for _, net := range benchCDGCases() {
+		start := time.Now()
+		rep := cdg.VerifyTurnSetJobs(net, vcs, ts, jobs)
+		wall := time.Since(start).Seconds()
+		rate := 0.0
+		if wall > 0 {
+			rate = float64(rep.Channels) / wall
+		}
+		b.CDG = append(b.CDG, BenchCDG{
+			Network:     net.String(),
+			Channels:    rep.Channels,
+			Edges:       rep.Edges,
+			Acyclic:     rep.Acyclic,
+			WallSeconds: wall, ChannelsPerSec: rate,
+		})
+	}
+	return b
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (b Bench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

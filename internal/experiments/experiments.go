@@ -7,7 +7,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"ebda/internal/cdg"
 	"ebda/internal/core"
@@ -91,14 +93,50 @@ func All() []Runner {
 	}
 }
 
-// RunAll executes every experiment.
-func RunAll(opts Options) []Result {
-	var out []Result
-	for _, r := range All() {
+// RunAll executes every experiment on every available core.
+func RunAll(opts Options) []Result { return RunAllJobs(opts, 0) }
+
+// RunAllJobs is RunAll over a bounded worker pool (jobs <= 0 means all
+// cores). Experiments are independent; results are collected by index, so
+// the returned slice is in canonical All() order regardless of which
+// worker finished first.
+func RunAllJobs(opts Options, jobs int) []Result {
+	return RunRunnersJobs(All(), opts, jobs)
+}
+
+// RunRunnersJobs executes an arbitrary runner subset over a bounded worker
+// pool, preserving the input order in the results.
+func RunRunnersJobs(runners []Runner, opts Options, jobs int) []Result {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(runners) {
+		jobs = len(runners)
+	}
+	out := make([]Result, len(runners))
+	run := func(i int) {
+		r := runners[i]
 		res := r.Run(opts)
 		res.ID, res.Name = r.ID, r.Name
-		out = append(out, res)
+		out[i] = res
 	}
+	if jobs <= 1 {
+		for i := range runners {
+			run(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(runners); i += jobs {
+				run(i)
+			}
+		}(w)
+	}
+	wg.Wait()
 	return out
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -88,5 +89,28 @@ func TestChainFromAssignment(t *testing.T) {
 	// Invalid partitions propagate errors.
 	if _, err := chainFromAssignment([]string{"X+", "X-", "Y+", "Y-"}, []int{0, 0, 0, 0}, 1); err == nil {
 		t.Error("Theorem-1 violation should be rejected")
+	}
+}
+
+func TestRunAllJobsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick harness twice")
+	}
+	// Every experiment seeds its own RNGs, so the harness must produce
+	// byte-identical records no matter how the pool schedules them —
+	// and in canonical All() order.
+	opts := Options{Quick: true}
+	ref := RunAllJobs(opts, 1)
+	got := RunAllJobs(opts, 8)
+	if len(ref) != len(got) || len(ref) != len(All()) {
+		t.Fatalf("result counts: jobs=1 %d, jobs=8 %d, runners %d", len(ref), len(got), len(All()))
+	}
+	for i, r := range All() {
+		if ref[i].ID != r.ID {
+			t.Fatalf("jobs=1 order broken at %d: got %s, want %s", i, ref[i].ID, r.ID)
+		}
+		if !reflect.DeepEqual(ref[i], got[i]) {
+			t.Fatalf("%s diverged between jobs=1 and jobs=8:\n  %+v\n  %+v", r.ID, ref[i], got[i])
+		}
 	}
 }

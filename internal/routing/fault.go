@@ -1,6 +1,8 @@
 package routing
 
 import (
+	"sync"
+
 	"ebda/internal/channel"
 	"ebda/internal/core"
 	"ebda/internal/topology"
@@ -31,7 +33,10 @@ type FaultTolerant struct {
 	classes []channel.Class
 	// reach caches, per destination, which (node, class) states can
 	// still reach it; states are indexed node*len(classes)+classIdx.
-	reach map[topology.NodeID][]bool
+	// Each entry is computed exactly once under its sync.Once, so
+	// Candidates is safe for concurrent use.
+	reach     [][]bool
+	reachOnce []sync.Once
 	// net is the (faulty) network the reachability cache was built for.
 	net *topology.Network
 }
@@ -52,9 +57,10 @@ func NewFaultTolerant(name string, chain *core.Chain, net *topology.Network) *Fa
 	}
 	return &FaultTolerant{
 		name: name, chain: chain, turns: ts, vcs: vcs,
-		classes: ts.Classes(),
-		reach:   make(map[topology.NodeID][]bool),
-		net:     net,
+		classes:   ts.Classes(),
+		reach:     make([][]bool, net.Nodes()),
+		reachOnce: make([]sync.Once, net.Nodes()),
+		net:       net,
 	}
 }
 
@@ -98,9 +104,11 @@ func (a *FaultTolerant) matchAt(coord topology.Coord, d channel.Dim, sign channe
 // class c". The computation is a backward BFS over the state graph, which
 // is acyclic because the chain's dependency graph is.
 func (a *FaultTolerant) reachSet(dst topology.NodeID) []bool {
-	if s, ok := a.reach[dst]; ok {
-		return s
-	}
+	a.reachOnce[dst].Do(func() { a.reach[dst] = a.computeReach(dst) })
+	return a.reach[dst]
+}
+
+func (a *FaultTolerant) computeReach(dst topology.NodeID) []bool {
 	n := a.net.Nodes()
 	k := len(a.classes)
 	set := make([]bool, n*k)
@@ -128,7 +136,6 @@ func (a *FaultTolerant) reachSet(dst topology.NodeID) []bool {
 			}
 		}
 	}
-	a.reach[dst] = set
 	return set
 }
 

@@ -14,6 +14,7 @@ package routing
 
 import (
 	"fmt"
+	"sync"
 
 	"ebda/internal/channel"
 	"ebda/internal/core"
@@ -267,8 +268,10 @@ type FromChain struct {
 	classes []channel.Class
 	// target, when non-nil, redirects productivity toward a waypoint.
 	target TargetFn
-	// reachMemo caches canReach results; FromChain is consequently not
-	// safe for concurrent use.
+	// reachMemo caches final canReach results under mu; Candidates is
+	// safe for concurrent use (parallel CDG extraction and concurrent
+	// simulator seeds share one FromChain).
+	mu        sync.RWMutex
 	reachMemo map[reachKey]bool
 }
 
@@ -384,18 +387,40 @@ func (a *FromChain) Candidates(net *topology.Network, cur topology.NodeID, in *c
 
 // canReach reports whether a packet at node holding abstract class cls can
 // still reach dst taking productive hops the turn relation permits.
-// Results are memoised; a conservative in-progress guard treats re-entered
-// states as unreachable (productive hops cannot revisit a state, so the
-// guard never fires on well-formed targets).
+// Final results are memoised under the lock; the conservative in-progress
+// guard that treats re-entered states as unreachable (productive hops
+// cannot revisit a state, so it never fires on well-formed targets) stays
+// local to one recursion so concurrent callers never observe a transient
+// value as an answer.
 func (a *FromChain) canReach(net *topology.Network, node topology.NodeID, cls channel.Class, dst topology.NodeID) bool {
 	if node == dst {
 		return true
 	}
 	key := reachKey{node: node, cls: cls, dst: dst}
-	if v, ok := a.reachMemo[key]; ok {
+	a.mu.RLock()
+	v, ok := a.reachMemo[key]
+	a.mu.RUnlock()
+	if ok {
 		return v
 	}
-	a.reachMemo[key] = false
+	return a.canReachRec(net, node, cls, dst, map[reachKey]bool{})
+}
+
+func (a *FromChain) canReachRec(net *topology.Network, node topology.NodeID, cls channel.Class, dst topology.NodeID, visiting map[reachKey]bool) bool {
+	if node == dst {
+		return true
+	}
+	key := reachKey{node: node, cls: cls, dst: dst}
+	a.mu.RLock()
+	v, ok := a.reachMemo[key]
+	a.mu.RUnlock()
+	if ok {
+		return v
+	}
+	if visiting[key] {
+		return false
+	}
+	visiting[key] = true
 	steer := dst
 	if a.target != nil {
 		steer = a.target(net, node, dst)
@@ -413,14 +438,17 @@ loop:
 				if !a.turns.Allows(cls, oc) {
 					continue
 				}
-				if a.canReach(net, next, oc, dst) {
+				if a.canReachRec(net, next, oc, dst, visiting) {
 					result = true
 					break loop
 				}
 			}
 		}
 	}
+	delete(visiting, key)
+	a.mu.Lock()
 	a.reachMemo[key] = result
+	a.mu.Unlock()
 	return result
 }
 

@@ -30,10 +30,17 @@ func Relation(alg Algorithm) cdg.RoutingRelation {
 
 // Verify builds the full routing relation of an algorithm on a network
 // (over all destinations) and checks the induced channel dependency graph
-// for cycles — the classic Dally verification.
+// for cycles — the classic Dally verification. All cores are used; the
+// report is identical for every worker count.
 func Verify(net *topology.Network, vcs cdg.VCConfig, alg Algorithm) cdg.Report {
+	return VerifyJobs(net, vcs, alg, 0)
+}
+
+// VerifyJobs is Verify over a bounded worker pool (jobs <= 0 means all
+// cores). The algorithm's Candidates is called concurrently when jobs > 1.
+func VerifyJobs(net *topology.Network, vcs cdg.VCConfig, alg Algorithm, jobs int) cdg.Report {
 	g := cdg.NewGraph(net, vcs)
-	g.AddRoutingEdges(Relation(alg))
+	g.AddRoutingEdgesJobs(Relation(alg), jobs)
 	cyc := g.FindCycle()
 	return cdg.Report{
 		Network:  net.String() + " / " + alg.Name(),

@@ -16,7 +16,9 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"ebda/internal/channel"
 	"ebda/internal/routing"
@@ -311,13 +313,48 @@ func (r Replicated) String() string {
 }
 
 // RunSeeds executes the configuration under seeds cfg.Seed .. cfg.Seed+n-1
-// and aggregates the results.
-func RunSeeds(cfg Config, n int) Replicated {
+// and aggregates the results, running the seeds concurrently on every
+// available core.
+func RunSeeds(cfg Config, n int) Replicated { return RunSeedsJobs(cfg, n, 0) }
+
+// RunSeedsJobs is RunSeeds over a bounded worker pool (jobs <= 0 means all
+// cores). Each seed is an independent simulation with its own RNG; results
+// are collected by seed index and folded into the streams in seed order, so
+// the aggregate is bit-identical for every jobs value (Welford streams are
+// order-sensitive). The routing algorithm in cfg is shared across workers
+// and must be safe for concurrent Candidates calls — every algorithm in
+// this repository is.
+func RunSeedsJobs(cfg Config, n, jobs int) Replicated {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > n {
+		jobs = n
+	}
+	results := make([]Result, n)
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			c := cfg
+			c.Seed = cfg.Seed + int64(i)
+			results[i] = New(c).Run()
+		}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(jobs)
+		for w := 0; w < jobs; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < n; i += jobs {
+					c := cfg
+					c.Seed = cfg.Seed + int64(i)
+					results[i] = New(c).Run()
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
 	rep := Replicated{Runs: n}
-	for i := 0; i < n; i++ {
-		c := cfg
-		c.Seed = cfg.Seed + int64(i)
-		res := New(c).Run()
+	for _, res := range results {
 		if res.Deadlocked {
 			rep.Deadlocks++
 			continue

@@ -377,3 +377,22 @@ func TestPartial3DElevatorSimulation(t *testing.T) {
 		t.Errorf("partial 3D sim: %s", res)
 	}
 }
+
+func TestRunSeedsJobsDeterministic(t *testing.T) {
+	// A memoizing adaptive algorithm shared across workers is the
+	// hardest case: concurrent Candidates calls hit the same reach
+	// cache. The aggregate must be bit-identical for every jobs value.
+	dyxy := routing.NewFromChain("dyxy", core.MustParseChain("PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]"), 2)
+	cfg := lowLoadConfig(dyxy, dyxy.VCs())
+	cfg.InjectionRate = 0.1
+	ref := RunSeedsJobs(cfg, 6, 1)
+	for _, jobs := range []int{2, 8} {
+		rep := RunSeedsJobs(cfg, 6, jobs)
+		if rep != ref {
+			t.Fatalf("jobs=%d diverged:\n  got  %+v\n  want %+v", jobs, rep, ref)
+		}
+	}
+	if ref.Runs != 6 || ref.Latency.N() != 6 {
+		t.Fatalf("aggregate lost runs: %+v", ref)
+	}
+}

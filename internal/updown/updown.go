@@ -13,13 +13,15 @@ package updown
 
 import (
 	"fmt"
+	"sync"
 
 	"ebda/internal/channel"
 	"ebda/internal/topology"
 )
 
-// UpDown is the routing algorithm. It is not safe for concurrent use (it
-// caches per-destination reachability).
+// UpDown is the routing algorithm. The per-destination reachability cache
+// is filled under a sync.Once per destination, so Candidates is safe for
+// concurrent use.
 type UpDown struct {
 	net  *topology.Network
 	root topology.NodeID
@@ -28,7 +30,8 @@ type UpDown struct {
 	// reach caches, per destination, which (node, phase) states can
 	// still reach it: reach[dst][2*node+phase], phase 0 = may still go
 	// up, phase 1 = down only.
-	reach map[topology.NodeID][]bool
+	reach     [][]bool
+	reachOnce []sync.Once
 }
 
 // New builds Up*/Down* routing on the network with the given root. It
@@ -58,7 +61,8 @@ func New(net *topology.Network, root topology.NodeID) (*UpDown, error) {
 	}
 	return &UpDown{
 		net: net, root: root, order: order,
-		reach: make(map[topology.NodeID][]bool),
+		reach:     make([][]bool, net.Nodes()),
+		reachOnce: make([]sync.Once, net.Nodes()),
 	}, nil
 }
 
@@ -90,9 +94,11 @@ const (
 
 // reachSet lazily computes which (node, phase) states can reach dst.
 func (a *UpDown) reachSet(dst topology.NodeID) []bool {
-	if s, ok := a.reach[dst]; ok {
-		return s
-	}
+	a.reachOnce[dst].Do(func() { a.reach[dst] = a.computeReach(dst) })
+	return a.reach[dst]
+}
+
+func (a *UpDown) computeReach(dst topology.NodeID) []bool {
 	n := a.net.Nodes()
 	set := make([]bool, 2*n)
 	set[2*int(dst)+phaseUp] = true
@@ -122,7 +128,6 @@ func (a *UpDown) reachSet(dst topology.NodeID) []bool {
 			}
 		}
 	}
-	a.reach[dst] = set
 	return set
 }
 
