@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json repro fmt vet check clean
+.PHONY: all build test race bench bench-json bench-diff repro fmt vet check clean
 
 all: check
 
@@ -21,6 +21,13 @@ bench:
 # Write the perf snapshot (per-experiment wall time, CDG channels/sec).
 bench-json:
 	$(GO) run ./cmd/ebda-repro -quick -benchjson BENCH_verify.json
+
+# Compare the committed snapshot against a fresh one; fails on >20%
+# wall-time regression. Usage: make bench-diff [OLD=BENCH_verify.json]
+OLD ?= BENCH_verify.json
+bench-diff:
+	$(GO) run ./cmd/ebda-repro -quick -benchjson BENCH_new.json
+	$(GO) run ./cmd/ebda-benchdiff $(OLD) BENCH_new.json
 
 # Regenerate every table and figure of the paper (paper-vs-measured).
 repro:

@@ -50,6 +50,89 @@ func BenchmarkVerifyParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkVerifyRepeated times repeated verification of the six-channel
+// fully adaptive design on a fixed 8x8 mesh — the sweep-loop shape the
+// fast path targets. "fresh" pays a new workspace per verification (the
+// pre-pooling cost), "workspace" reuses one workspace, and "cached"
+// answers repeats from the verification cache. Run with -benchmem: the
+// workspace variant must allocate far less than fresh, and cached less
+// still.
+func BenchmarkVerifyRepeated(b *testing.B) {
+	chain := paper.Figure7P1()
+	net := topology.NewMesh(8, 8)
+	ts := chain.AllTurns()
+	vcs := cdg.VCConfigFor(2, chain.Channels())
+	want := cdg.VerifyTurnSetJobs(net, vcs, ts, 1)
+	check := func(b *testing.B, rep cdg.Report) {
+		if !rep.Acyclic || rep.Edges != want.Edges {
+			b.Fatalf("%s (want %d edges)", rep, want.Edges)
+		}
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			check(b, cdg.NewWorkspace(net, vcs).VerifyTurnSetJobs(ts, 0))
+		}
+	})
+	b.Run("workspace", func(b *testing.B) {
+		b.ReportAllocs()
+		ws := cdg.NewWorkspace(net, vcs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			check(b, ws.VerifyTurnSetJobs(ts, 0))
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		cache := &cdg.VerifyCache{}
+		cache.VerifyTurnSetJobs(net, vcs, ts, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			check(b, cache.VerifyTurnSetJobs(net, vcs, ts, 0))
+		}
+	})
+}
+
+// BenchmarkAddEdges compares incremental single-edge insertion against the
+// batched sorted-merge path on interleaved batches (the worst case for
+// repeated O(n) inserts).
+func BenchmarkAddEdges(b *testing.B) {
+	net := topology.NewMesh(8, 8)
+	const batchLen = 64
+	evens := make([]int32, batchLen)
+	odds := make([]int32, batchLen)
+	for i := range evens {
+		evens[i] = int32(2 * i)
+		odds[i] = int32(2*i + 1)
+	}
+	b.Run("AddEdge", func(b *testing.B) {
+		b.ReportAllocs()
+		ws := cdg.NewWorkspace(net, nil)
+		g := ws.Graph()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ws.Reset()
+			for _, v := range evens {
+				g.AddEdge(0, int(v))
+			}
+			for _, v := range odds {
+				g.AddEdge(0, int(v))
+			}
+		}
+	})
+	b.Run("AddEdges", func(b *testing.B) {
+		b.ReportAllocs()
+		ws := cdg.NewWorkspace(net, nil)
+		g := ws.Graph()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ws.Reset()
+			g.AddEdges(0, evens...)
+			g.AddEdges(0, odds...)
+		}
+	})
+}
+
 // BenchmarkRoutingEdgesParallel times the Dally routing-relation
 // construction (per-destination closure) at each worker count, through the
 // adaptive Figure 7 design whose memoizing Candidates is shared across the

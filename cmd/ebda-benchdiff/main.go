@@ -1,0 +1,137 @@
+// Command ebda-benchdiff compares two BENCH_verify.json perf snapshots
+// (see `make bench-json`) and fails when wall times regress.
+//
+// Experiments are matched by ID and CDG cases by network name; entries
+// present in only one snapshot are reported but never fail the diff. A
+// regression is a wall-time ratio above -threshold (default 1.20, i.e.
+// >20% slower) on an entry whose baseline wall time is at least -minwall
+// seconds — sub-millisecond entries are timer noise, not signal.
+//
+// Usage:
+//
+//	ebda-benchdiff old.json new.json
+//	ebda-benchdiff -threshold 1.10 -minwall 0.01 old.json new.json
+//
+// Exit status: 0 when no regression, 1 on regression, 2 on usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ebda/internal/experiments"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 1.20, "fail when new/old wall-time ratio exceeds this")
+	minWall := flag.Float64("minwall", 0.005, "ignore entries whose baseline wall time is below this many seconds")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: ebda-benchdiff [-threshold 1.2] [-minwall 0.005] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldB, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newB, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("old: %s (%s, jobs=%d, gomaxprocs=%d)\n",
+		flag.Arg(0), oldB.GoVersion, oldB.Jobs, oldB.GoMaxProcs)
+	fmt.Printf("new: %s (%s, jobs=%d, gomaxprocs=%d)\n",
+		flag.Arg(1), newB.GoVersion, newB.Jobs, newB.GoMaxProcs)
+	if oldB.Quick != newB.Quick {
+		fmt.Println("warning: snapshots differ in -quick; wall times are not comparable")
+	}
+
+	regressions := 0
+	regressions += diffRows(expRows(oldB), expRows(newB), *threshold, *minWall)
+	regressions += diffRows(cdgRows(oldB), cdgRows(newB), *threshold, *minWall)
+	if regressions > 0 {
+		fmt.Printf("\n%d regression(s) beyond %.0f%%\n", regressions, (*threshold-1)*100)
+		os.Exit(1)
+	}
+	fmt.Println("\nno wall-time regressions")
+}
+
+// row is one comparable measurement.
+type row struct {
+	name string
+	wall float64
+}
+
+func expRows(b experiments.Bench) []row {
+	out := make([]row, 0, len(b.Experiments))
+	for _, e := range b.Experiments {
+		out = append(out, row{name: e.ID, wall: e.WallSeconds})
+	}
+	return out
+}
+
+func cdgRows(b experiments.Bench) []row {
+	out := make([]row, 0, len(b.CDG))
+	for _, c := range b.CDG {
+		out = append(out, row{name: "cdg " + c.Network, wall: c.WallSeconds})
+	}
+	return out
+}
+
+// diffRows prints the comparison of matching rows (by name) and returns
+// the number of regressions.
+func diffRows(oldRows, newRows []row, threshold, minWall float64) int {
+	byName := make(map[string]row, len(oldRows))
+	for _, r := range oldRows {
+		byName[r.name] = r
+	}
+	regressions := 0
+	for _, n := range newRows {
+		o, ok := byName[n.name]
+		if !ok {
+			fmt.Printf("  %-28s only in new snapshot\n", n.name)
+			continue
+		}
+		delete(byName, n.name)
+		ratio := 0.0
+		if o.wall > 0 {
+			ratio = n.wall / o.wall
+		}
+		status := "ok"
+		switch {
+		case o.wall < minWall:
+			status = "skip (below minwall)"
+		case ratio > threshold:
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("  %-28s %10.4fs -> %10.4fs  (%5.2fx)  %s\n",
+			n.name, o.wall, n.wall, ratio, status)
+	}
+	for _, o := range oldRows {
+		if _, ok := byName[o.name]; ok {
+			fmt.Printf("  %-28s only in old snapshot\n", o.name)
+		}
+	}
+	return regressions
+}
+
+func load(path string) (experiments.Bench, error) {
+	var b experiments.Bench
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ebda-benchdiff:", err)
+	os.Exit(2)
+}

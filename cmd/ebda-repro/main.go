@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"ebda/internal/cdg"
 	"ebda/internal/experiments"
 )
 
@@ -26,6 +27,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit results as a JSON array")
 	jobs := flag.Int("jobs", 0, "worker pool size for running experiments (0 = all cores)")
 	benchJSON := flag.String("benchjson", "", "write a perf snapshot (wall time per experiment, CDG channels/sec) to this file, e.g. BENCH_verify.json")
+	cacheStats := flag.Bool("cachestats", false, "print verification-cache hit/miss statistics after the run")
 	flag.Parse()
 
 	opts := experiments.Options{Quick: *quick}
@@ -100,9 +102,21 @@ func main() {
 		return
 	}
 	fmt.Printf("\n%d experiments, %d mismatches\n", len(results), failures)
+	if *cacheStats {
+		printCacheStats()
+	}
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// printCacheStats reports the verification cache's effectiveness over the
+// run: repeated turn-set verifications on identical network shapes are
+// served from memory.
+func printCacheStats() {
+	s := cdg.DefaultCache.Stats()
+	fmt.Printf("verify cache: %d hits, %d misses (%.1f%% hit rate), %d entries\n",
+		s.Hits, s.Misses, 100*s.HitRate(), s.Entries)
 }
 
 // writeBench runs the perf harness and writes the JSON snapshot.

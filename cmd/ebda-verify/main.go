@@ -94,9 +94,11 @@ func main() {
 	n90, nU, nI := ts.Counts()
 	fmt.Printf("turn set: %d 90-degree, %d U, %d I\n", n90, nU, nI)
 	// Build once over the worker pool and derive the report from the same
-	// graph (the construction is deterministic for every jobs value).
+	// graph (the construction is deterministic for every jobs value). The
+	// acyclicity check uses the parallel Kahn peel, which is likewise
+	// jobs-invariant.
 	g := cdg.BuildFromTurnSetJobs(net, vcs, ts, *jobs)
-	cyc := g.FindCycle()
+	cyc := g.FindCycleJobs(*jobs)
 	rep := cdg.Report{
 		Network:  net.String(),
 		Channels: g.NumChannels(),

@@ -1,0 +1,182 @@
+package cdg
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ebda/internal/channel"
+	"ebda/internal/core"
+	"ebda/internal/topology"
+)
+
+// VerifyCache memoizes verification Reports across turn sets, keyed by a
+// canonical 64-bit hash of (network shape, VC configuration, turn-set
+// transition relation). The experiment sweeps (E04/E05/E07, the partition
+// strategy searches, the paper-section turn-model enumerations) verify
+// many structurally identical designs — chains rebuilt per call produce
+// fresh TurnSet instances with identical relations — and the cache turns
+// those repeats into a map probe.
+//
+// The cache is goroutine-safe. Each entry stores a second, independently
+// derived 64-bit check hash: a probe whose key matches but whose check
+// differs is treated as a miss and recomputed, so a single-hash collision
+// can never surface a wrong report. Cached Reports share their Cycle
+// slice; callers must treat it as read-only (every in-repo consumer only
+// formats it).
+type VerifyCache struct {
+	mu sync.RWMutex
+	m  map[uint64]cacheEntry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type cacheEntry struct {
+	check uint64
+	rep   Report
+}
+
+// maxCacheEntries bounds memory: past it the map is flushed wholesale (an
+// epoch flush — correctness never depends on cache contents). The
+// repository's full sweep population is a few thousand entries.
+const maxCacheEntries = 1 << 15
+
+// DefaultCache is the process-wide verification cache behind
+// VerifyTurnSetCached and VerifyChainCached.
+var DefaultCache = &VerifyCache{}
+
+// CacheStats is a snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 when empty.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns current hit/miss counters and the live entry count.
+func (c *VerifyCache) Stats() CacheStats {
+	c.mu.RLock()
+	n := len(c.m)
+	c.mu.RUnlock()
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}
+
+// Reset clears all entries and counters.
+func (c *VerifyCache) Reset() {
+	c.mu.Lock()
+	c.m = nil
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// verifyKey derives the cache key and its independent check hash. The
+// network contributes its family name, per-dimension sizes and wraps (and,
+// for irregular networks, the full memoized link list — shape parameters
+// alone do not determine an irregular topology); the VC configuration
+// contributes its effective per-dimension counts; the turn set contributes
+// its order-independent relation fingerprint.
+func verifyKey(net *topology.Network, vcs VCConfig, ts *core.TurnSet) (key, check uint64) {
+	h1 := uint64(0x9e3779b97f4a7c15)
+	h2 := uint64(0xc2b2ae3d27d4eb4f)
+	put := func(v uint64) {
+		h1 = mix64(h1 ^ v)
+		h2 = mix64(h2*0x100000001b3 + v)
+	}
+	name := net.Name()
+	put(uint64(len(name)))
+	for i := 0; i < len(name); i++ {
+		put(uint64(name[i]))
+	}
+	dims := net.Dims()
+	put(uint64(dims))
+	for d := 0; d < dims; d++ {
+		put(uint64(net.Size(channel.Dim(d))))
+		if net.Wrap(channel.Dim(d)) {
+			put(1)
+		} else {
+			put(0)
+		}
+		put(uint64(vcs.VCs(channel.Dim(d))))
+	}
+	if !net.Regular() {
+		links := net.Links()
+		put(uint64(len(links)))
+		for _, l := range links {
+			put(uint64(uint32(l.From))<<32 | uint64(uint32(l.To)))
+			w := uint64(0)
+			if l.Wrap {
+				w = 1
+			}
+			s := uint64(0)
+			if l.Sign == channel.Minus {
+				s = 1
+			}
+			put(uint64(l.Dim)<<2 | s<<1 | w)
+		}
+	}
+	f1, f2 := ts.Fingerprint()
+	put(f1)
+	put(f2)
+	return h1, h2
+}
+
+// mix64 is the splitmix64 finalizer, used to diffuse key components.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// VerifyTurnSetJobs returns the memoized report for the (network, vcs,
+// turn set) shape, computing and caching it on a miss via the pooled
+// verification path (jobs <= 0 means all cores). Reports are identical to
+// the uncached path for every jobs value.
+func (c *VerifyCache) VerifyTurnSetJobs(net *topology.Network, vcs VCConfig, ts *core.TurnSet, jobs int) Report {
+	key, check := verifyKey(net, vcs, ts)
+	c.mu.RLock()
+	e, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok && e.check == check {
+		c.hits.Add(1)
+		return e.rep
+	}
+	c.misses.Add(1)
+	rep := VerifyTurnSetJobs(net, vcs, ts, jobs)
+	c.mu.Lock()
+	if c.m == nil || len(c.m) >= maxCacheEntries {
+		c.m = make(map[uint64]cacheEntry)
+	}
+	c.m[key] = cacheEntry{check: check, rep: rep}
+	c.mu.Unlock()
+	return rep
+}
+
+// VerifyTurnSetCached is VerifyTurnSet through the DefaultCache.
+func VerifyTurnSetCached(net *topology.Network, vcs VCConfig, ts *core.TurnSet) Report {
+	return DefaultCache.VerifyTurnSetJobs(net, vcs, ts, 0)
+}
+
+// VerifyTurnSetCachedJobs is VerifyTurnSetJobs through the DefaultCache.
+func VerifyTurnSetCachedJobs(net *topology.Network, vcs VCConfig, ts *core.TurnSet, jobs int) Report {
+	return DefaultCache.VerifyTurnSetJobs(net, vcs, ts, jobs)
+}
+
+// VerifyChainCached is VerifyChain through the DefaultCache: the chain's
+// full turn set and derived VC configuration, memoized by relation — two
+// chains extracting equal turn sets share one verification.
+func VerifyChainCached(net *topology.Network, chain *core.Chain) Report {
+	vcs := VCConfigFor(net.Dims(), chain.Channels())
+	return DefaultCache.VerifyTurnSetJobs(net, vcs, chain.AllTurns(), 0)
+}

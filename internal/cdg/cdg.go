@@ -103,6 +103,10 @@ type Graph struct {
 	// per-dimension stride.
 	tailIndex []int32
 	maxVC     int
+	// coords[v*Dims()+d] is node v's coordinate in dimension d: a flat
+	// copy of net.Coord so parity tests in the class-matching hot loop
+	// are allocation-free.
+	coords []int32
 }
 
 // NewGraph enumerates the concrete channels of the network under the VC
@@ -123,6 +127,14 @@ func NewGraph(net *topology.Network, vcs VCConfig) *Graph {
 	g.tailIndex = make([]int32, net.Nodes()*net.Dims()*2*g.maxVC)
 	for i := range g.tailIndex {
 		g.tailIndex[i] = -1
+	}
+	dims := net.Dims()
+	g.coords = make([]int32, net.Nodes()*dims)
+	for v := 0; v < net.Nodes(); v++ {
+		c := net.Coord(topology.NodeID(v))
+		for d, x := range c {
+			g.coords[v*dims+d] = int32(x)
+		}
 	}
 	for _, link := range net.Links() {
 		for vc := 1; vc <= vcs.VCs(link.Dim); vc++ {
@@ -187,6 +199,61 @@ func insertSorted(row []int32, v int32) []int32 {
 	return row
 }
 
+// AddEdges adds dependency edges from one channel to every listed successor
+// in a single sorted merge — the batched counterpart of AddEdge, used by
+// the bulk constructors so incremental O(n) inserts stay off the hot path.
+// tos may be in any order (it is sorted in place when needed). Not safe for
+// concurrent use; the parallel constructors batch per worker and merge into
+// disjoint rows instead.
+func (g *Graph) AddEdges(from int, tos ...int32) {
+	if len(tos) == 0 {
+		return
+	}
+	if !sortedInt32(tos) {
+		sort.Slice(tos, func(i, j int) bool { return tos[i] < tos[j] })
+	}
+	g.adj[from] = mergeSorted(g.adj[from], tos)
+	g.edges += len(tos)
+}
+
+// sortedInt32 reports whether the slice is ascending.
+func sortedInt32(s []int32) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeSorted merges the ascending batch into the ascending row in one
+// pass, keeping the result ascending. The common bulk case — the batch
+// entirely above the current maximum, which covers every first fill of a
+// freshly reset row — is a plain append. Otherwise the row grows once and
+// a backwards merge avoids any temporary buffer.
+func mergeSorted(row, batch []int32) []int32 {
+	if len(batch) == 0 {
+		return row
+	}
+	if n := len(row); n == 0 || row[n-1] <= batch[0] {
+		return append(row, batch...)
+	}
+	n, b := len(row), len(batch)
+	row = append(row, batch...)
+	i, j, k := n-1, b-1, n+b-1
+	for j >= 0 {
+		if i >= 0 && row[i] > batch[j] {
+			row[k] = row[i]
+			i--
+		} else {
+			row[k] = batch[j]
+			j--
+		}
+		k--
+	}
+	return row
+}
+
 // Succs returns the dependency successors of a channel index, ascending.
 // The slice must not be modified.
 func (g *Graph) Succs(i int) []int32 { return g.adj[i] }
@@ -227,25 +294,25 @@ func resolveJobs(jobs, shards int) int {
 	return jobs
 }
 
-// matchClassIdx returns, for a concrete channel, the interned indices of
-// the matrix classes it instantiates. Parity restrictions are evaluated
-// against the channel's tail-node coordinate in the class's parity
-// dimension (a channel does not move in dimensions other than its own, so
-// head and tail agree there except on its own-dimension wraparound, which
-// parity classes may not reference).
-func (g *Graph) matchClassIdx(ch Channel, m *core.AllowMatrix) []int32 {
-	var out []int32
-	coord := g.net.Coord(ch.Link.From)
+// matchClassIdx appends to dst, for a concrete channel, the interned
+// indices of the matrix classes it instantiates, and returns the extended
+// slice (append-into form so callers can reuse scratch). Parity
+// restrictions are evaluated against the channel's tail-node coordinate in
+// the class's parity dimension (a channel does not move in dimensions
+// other than its own, so head and tail agree there except on its
+// own-dimension wraparound, which parity classes may not reference).
+func (g *Graph) matchClassIdx(dst []int32, ch Channel, m *core.AllowMatrix) []int32 {
+	base := int(ch.Link.From) * g.net.Dims()
 	for i, cls := range m.Classes() {
 		if cls.Dim != ch.Link.Dim || cls.Sign != ch.Link.Sign || cls.VC != ch.VC {
 			continue
 		}
-		if cls.Par != channel.Any && !cls.Par.Matches(coord[cls.PDim]) {
+		if cls.Par != channel.Any && !cls.Par.Matches(int(g.coords[base+int(cls.PDim)])) {
 			continue
 		}
-		out = append(out, int32(i))
+		dst = append(dst, int32(i))
 	}
-	return out
+	return dst
 }
 
 // AddTurnEdges adds a dependency edge for every pair of concrete channels
@@ -260,32 +327,42 @@ func (g *Graph) AddTurnEdges(ts *core.TurnSet) int { return g.AddTurnEdgesJobs(t
 // rows. The result — row contents and order — is identical for every
 // worker count.
 func (g *Graph) AddTurnEdgesJobs(ts *core.TurnSet, jobs int) int {
+	return g.addTurnEdges(ts, jobs, make([][]int32, len(g.channels)))
+}
+
+// addTurnEdges is the engine behind AddTurnEdgesJobs. matched is
+// caller-provided scratch of length NumChannels (entries are reset to
+// length zero and refilled, keeping capacity), so a Workspace can run
+// repeated extractions without reallocating the per-channel match lists.
+func (g *Graph) addTurnEdges(ts *core.TurnSet, jobs int, matched [][]int32) int {
 	m := ts.Matrix()
 	nc := len(g.channels)
 	workers := resolveJobs(jobs, g.net.Nodes())
 	// Phase 1: intern class matches per channel (independent per channel).
-	matched := make([][]int32, nc)
 	parallelFor(workers, func(w int) {
 		for i := w; i < nc; i += workers {
-			matched[i] = g.matchClassIdx(g.channels[i], m)
+			matched[i] = g.matchClassIdx(matched[i][:0], g.channels[i], m)
 		}
 	})
 	// Phase 2: per-node edge construction. byTail rows are ascending, so
-	// appends keep adjacency sorted.
+	// each batch arrives sorted and merges into the row in one pass.
 	counts := make([]int, workers)
 	nodes := g.net.Nodes()
 	parallelFor(workers, func(w int) {
 		added := 0
+		var batch []int32
 		for v := w; v < nodes; v += workers {
 			for _, ai := range g.byHead[v] {
-				row := g.adj[ai]
+				batch = batch[:0]
 				for _, bi := range g.byTail[v] {
 					if m.AllowsAny(matched[ai], matched[bi]) {
-						row = insertSorted(row, bi)
-						added++
+						batch = append(batch, bi)
 					}
 				}
-				g.adj[ai] = row
+				if len(batch) > 0 {
+					g.adj[ai] = mergeSorted(g.adj[ai], batch)
+					added += len(batch)
+				}
 			}
 		}
 		counts[w] = added
@@ -396,11 +473,13 @@ func (g *Graph) AddRoutingEdgesJobs(route RoutingRelation, jobs int) int {
 		}
 	})
 	// Merge: OR the per-worker rows and expand set bits in ascending
-	// order. Rows are independent, so the merge shards over channels.
+	// order, then land each row's batch in a single sorted merge. Rows are
+	// independent, so the merge shards over channels.
 	counts := make([]int, workers)
 	parallelFor(workers, func(w int) {
 		added := 0
 		merged := make([]uint64, words)
+		var batch []int32
 		for a := w; a < nc; a += workers {
 			for i := range merged {
 				merged[i] = 0
@@ -416,15 +495,14 @@ func (g *Graph) AddRoutingEdgesJobs(route RoutingRelation, jobs int) int {
 			if !any {
 				continue
 			}
-			row := g.adj[a]
+			batch = batch[:0]
 			for i, word := range merged {
 				for ; word != 0; word &= word - 1 {
-					b := int32(i*64 + bits.TrailingZeros64(word))
-					row = insertSorted(row, b)
-					added++
+					batch = append(batch, int32(i*64+bits.TrailingZeros64(word)))
 				}
 			}
-			g.adj[a] = row
+			g.adj[a] = mergeSorted(g.adj[a], batch)
+			added += len(batch)
 		}
 		counts[w] = added
 	})
@@ -534,13 +612,12 @@ func (g *Graph) SCCs() [][]int {
 		v    int32
 		next int
 	}
+	// Adjacency rows are sorted ascending, so the self-loop test is a
+	// binary search instead of a linear scan.
 	selfLoop := func(v int32) bool {
-		for _, w := range g.adj[v] {
-			if w == v {
-				return true
-			}
-		}
-		return false
+		row := g.adj[v]
+		i := sort.Search(len(row), func(k int) bool { return row[k] >= v })
+		return i < len(row) && row[i] == v
 	}
 	for root := 0; root < n; root++ {
 		if index[root] != -1 {
@@ -639,17 +716,15 @@ func VerifyTurnSet(net *topology.Network, vcs VCConfig, ts *core.TurnSet) Report
 }
 
 // VerifyTurnSetJobs is VerifyTurnSet over a bounded worker pool (jobs <= 0
-// means all cores); the report is identical for every jobs value.
+// means all cores); the report is identical for every jobs value. The
+// build runs in a pooled Workspace, so repeated verifications on the same
+// (network, VC configuration) shape reuse the channel table, adjacency
+// rows and acyclicity scratch instead of reallocating them.
 func VerifyTurnSetJobs(net *topology.Network, vcs VCConfig, ts *core.TurnSet, jobs int) Report {
-	g := BuildFromTurnSetJobs(net, vcs, ts, jobs)
-	cyc := g.FindCycle()
-	return Report{
-		Network:  net.String(),
-		Channels: g.NumChannels(),
-		Edges:    g.NumEdges(),
-		Acyclic:  cyc == nil,
-		Cycle:    cyc,
-	}
+	ws := DefaultPool.Get(net, vcs)
+	rep := ws.VerifyTurnSetJobs(ts, jobs)
+	DefaultPool.Put(ws)
+	return rep
 }
 
 // VerifyChain extracts the full turn set of a chain (Theorems 1-3, U/I

@@ -1,0 +1,147 @@
+package cdg
+
+import (
+	"strings"
+	"testing"
+
+	"ebda/internal/channel"
+	"ebda/internal/topology"
+)
+
+// uturnPair returns a graph on a 2x2 mesh plus the indices of the two
+// X-dimension channels between nodes 0 and 1 — the smallest possible
+// dependency cycle when each U-turn back onto the other is added.
+func uturnPair(t *testing.T) (*Graph, int, int) {
+	t.Helper()
+	g := NewGraph(topology.NewMesh(2, 2), nil)
+	east, ok := g.FindChannel(0, channel.X, channel.Plus, 1)
+	if !ok {
+		t.Fatal("no X+ channel at node 0")
+	}
+	west, ok := g.FindChannel(1, channel.X, channel.Minus, 1)
+	if !ok {
+		t.Fatal("no X- channel at node 1")
+	}
+	return g, east.Index, west.Index
+}
+
+func TestFormatCycleAcyclic(t *testing.T) {
+	if got := FormatCycle(nil); got != "<acyclic>" {
+		t.Errorf("FormatCycle(nil) = %q, want %q", got, "<acyclic>")
+	}
+	if got := FormatCycle([]Channel{}); got != "<acyclic>" {
+		t.Errorf("FormatCycle(empty) = %q, want %q", got, "<acyclic>")
+	}
+}
+
+func TestFormatCycleTwoChannel(t *testing.T) {
+	g, east, west := uturnPair(t)
+	g.AddEdge(east, west)
+	g.AddEdge(west, east)
+	cyc := g.FindCycle()
+	if len(cyc) != 2 {
+		t.Fatalf("cycle = %v, want the 2-channel U-turn cycle", cyc)
+	}
+	got := FormatCycle(cyc)
+	for _, want := range []string{
+		cyc[0].String(), cyc[1].String(), " => ", " => (repeat)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("FormatCycle = %q, missing %q", got, want)
+		}
+	}
+	if n := strings.Count(got, " => "); n != 2 {
+		t.Errorf("FormatCycle = %q: %d separators, want 2", got, n)
+	}
+}
+
+func TestReportStringAcyclic(t *testing.T) {
+	rep := Report{Network: "2x2 mesh", Channels: 8, Edges: 3, Acyclic: true}
+	got := rep.String()
+	for _, want := range []string{
+		"2x2 mesh", "8 channels", "3 dependencies", "ACYCLIC (deadlock-free)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Report.String() = %q, missing %q", got, want)
+		}
+	}
+	if strings.Contains(got, "CYCLIC:") {
+		t.Errorf("acyclic report rendered as cyclic: %q", got)
+	}
+}
+
+func TestReportStringCyclic(t *testing.T) {
+	g, east, west := uturnPair(t)
+	g.AddEdge(east, west)
+	g.AddEdge(west, east)
+	cyc := g.FindCycle()
+	rep := Report{
+		Network: "2x2 mesh", Channels: g.NumChannels(), Edges: g.NumEdges(),
+		Acyclic: false, Cycle: cyc,
+	}
+	got := rep.String()
+	for _, want := range []string{"CYCLIC: ", FormatCycle(cyc)} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Report.String() = %q, missing %q", got, want)
+		}
+	}
+}
+
+func TestSCCsSelfLoop(t *testing.T) {
+	g, east, west := uturnPair(t)
+	// A single-node component exists only with a self-loop.
+	g.AddEdge(east, east)
+	// An ordinary edge must not create a component on its own.
+	g.AddEdge(east, west)
+	comps := g.SCCs()
+	if len(comps) != 1 {
+		t.Fatalf("SCCs = %v, want exactly the self-loop component", comps)
+	}
+	if len(comps[0]) != 1 || comps[0][0] != east {
+		t.Errorf("component = %v, want [%d]", comps[0], east)
+	}
+}
+
+func TestSCCsMultiComponent(t *testing.T) {
+	// Two disjoint 2-cycles on a 3x3 mesh: the X channels between nodes
+	// 0<->1 and the Y channels between nodes 0<->3.
+	g := NewGraph(topology.NewMesh(3, 3), nil)
+	find := func(from topology.NodeID, d channel.Dim, s channel.Sign) int {
+		ch, ok := g.FindChannel(from, d, s, 1)
+		if !ok {
+			t.Fatalf("missing channel at n%d", from)
+		}
+		return ch.Index
+	}
+	e, w := find(0, channel.X, channel.Plus), find(1, channel.X, channel.Minus)
+	n, s := find(0, channel.Y, channel.Plus), find(3, channel.Y, channel.Minus)
+	g.AddEdge(e, w)
+	g.AddEdge(w, e)
+	g.AddEdge(n, s)
+	g.AddEdge(s, n)
+	comps := g.SCCs()
+	if len(comps) != 2 {
+		t.Fatalf("SCCs = %v, want two components", comps)
+	}
+	members := map[int]bool{}
+	for _, comp := range comps {
+		if len(comp) != 2 {
+			t.Errorf("component %v, want size 2", comp)
+		}
+		for _, v := range comp {
+			members[v] = true
+		}
+	}
+	for _, v := range []int{e, w, n, s} {
+		if !members[v] {
+			t.Errorf("channel %d missing from components %v", v, comps)
+		}
+	}
+}
+
+func TestSCCsAcyclicEmpty(t *testing.T) {
+	g := BuildFromTurnSet(topology.NewMesh(3, 3), nil, xyTurnSet())
+	if comps := g.SCCs(); len(comps) != 0 {
+		t.Errorf("acyclic graph has components: %v", comps)
+	}
+}

@@ -1,0 +1,221 @@
+package cdg
+
+import "sync/atomic"
+
+// This file implements the parallel acyclicity fast path: a Kahn
+// topological peel over the bounded worker pool, with cycle extraction by
+// three-colour DFS restricted to the unpeeled residual.
+//
+// The peel repeatedly removes every channel whose dependency in-degree has
+// dropped to zero. The maximal peel is unique — a channel is peelable iff
+// no cycle reaches it, a property of the graph, not of removal order — so
+// the residual (and therefore Acyclic and the extracted cycle) is
+// bit-identical for every worker count and scheduling. The residual is
+// also successor-closed: an edge from an unpeeled channel never delivered
+// its decrement, so its target's in-degree stays positive. DFS started
+// from residual channels therefore never leaves the residual and needs no
+// membership tests on successors.
+
+// DFS colours shared by findCycleResidual and FindCycle.
+const (
+	dfsWhite = 0
+	dfsGrey  = 1
+	dfsBlack = 2
+)
+
+// acyclicState is the reusable scratch of one Kahn peel + residual DFS.
+// The zero value is ready to use; Workspaces keep one across
+// verifications so the common acyclic case allocates nothing after the
+// first run.
+type acyclicState struct {
+	// indeg[i] is channel i's remaining dependency in-degree; after the
+	// peel, indeg[i] > 0 marks the residual.
+	indeg []int32
+	// frontier/swap double-buffer the zero in-degree wavefront.
+	frontier []int32
+	swap     []int32
+	// next[w] is worker w's private discovery buffer for one round.
+	next [][]int32
+	// color/parent are the residual DFS scratch, sized lazily because the
+	// common acyclic case never needs them.
+	color  []uint8
+	parent []int32
+}
+
+// ensure sizes the peel scratch for n channels, zeroing in-degrees.
+func (st *acyclicState) ensure(n int) {
+	if cap(st.indeg) < n {
+		st.indeg = make([]int32, n)
+	} else {
+		st.indeg = st.indeg[:n]
+		for i := range st.indeg {
+			st.indeg[i] = 0
+		}
+	}
+	st.frontier = st.frontier[:0]
+	st.swap = st.swap[:0]
+}
+
+// kahnPeel runs the topological peel and returns the number of channels
+// peeled; the graph is acyclic iff that equals NumChannels. jobs <= 0
+// means all cores. On return st.indeg marks the residual (indeg > 0).
+func (g *Graph) kahnPeel(jobs int, st *acyclicState) int {
+	nc := len(g.channels)
+	st.ensure(nc)
+	if nc == 0 {
+		return 0
+	}
+	workers := resolveJobs(jobs, nc)
+	indeg := st.indeg
+	// In-degree accumulation: rows shard by channel; targets are shared,
+	// so parallel workers count with atomic adds.
+	if workers <= 1 {
+		for i := 0; i < nc; i++ {
+			for _, s := range g.adj[i] {
+				indeg[s]++
+			}
+		}
+	} else {
+		parallelFor(workers, func(w int) {
+			for i := w; i < nc; i += workers {
+				for _, s := range g.adj[i] {
+					atomic.AddInt32(&indeg[s], 1)
+				}
+			}
+		})
+	}
+	frontier := st.frontier
+	for i := 0; i < nc; i++ {
+		if indeg[i] == 0 {
+			frontier = append(frontier, int32(i))
+		}
+	}
+	peeled := len(frontier)
+	if cap(st.next) < workers {
+		st.next = append(st.next[:cap(st.next)], make([][]int32, workers-cap(st.next))...)
+	}
+	st.next = st.next[:workers]
+	// Peel rounds: each round removes the current frontier and discovers
+	// the channels whose in-degree that drops to zero. The atomic
+	// decrement returns the new value, so exactly one worker sees zero and
+	// discovery buffers stay duplicate-free.
+	for len(frontier) > 0 {
+		w := resolveJobs(workers, len(frontier))
+		out := st.swap[:0]
+		if w <= 1 {
+			for _, v := range frontier {
+				for _, s := range g.adj[v] {
+					if indeg[s]--; indeg[s] == 0 {
+						out = append(out, s)
+					}
+				}
+			}
+		} else {
+			parallelFor(w, func(k int) {
+				buf := st.next[k][:0]
+				for i := k; i < len(frontier); i += w {
+					for _, s := range g.adj[frontier[i]] {
+						if atomic.AddInt32(&indeg[s], -1) == 0 {
+							buf = append(buf, s)
+						}
+					}
+				}
+				st.next[k] = buf
+			})
+			for k := 0; k < w; k++ {
+				out = append(out, st.next[k]...)
+			}
+		}
+		st.swap, frontier = frontier, out
+		peeled += len(frontier)
+	}
+	st.frontier = frontier
+	return peeled
+}
+
+// findCycleResidual extracts one dependency cycle from the residual left
+// by kahnPeel (st.indeg > 0), which must be non-empty. The three-colour
+// DFS visits residual channels in ascending index order over sorted
+// adjacency, so the reported cycle is independent of the worker count the
+// peel ran with.
+func (g *Graph) findCycleResidual(st *acyclicState) []Channel {
+	nc := len(g.channels)
+	if cap(st.color) < nc {
+		st.color = make([]uint8, nc)
+		st.parent = make([]int32, nc)
+	}
+	st.color = st.color[:nc]
+	st.parent = st.parent[:nc]
+	// Only residual entries need resetting: the DFS never reads the rest
+	// (the residual is successor-closed).
+	for i := 0; i < nc; i++ {
+		if st.indeg[i] > 0 {
+			st.color[i] = dfsWhite
+			st.parent[i] = -1
+		}
+	}
+	type frame struct {
+		node int32
+		next int
+	}
+	var stack []frame
+	for start := 0; start < nc; start++ {
+		if st.indeg[start] == 0 || st.color[start] != dfsWhite {
+			continue
+		}
+		stack = append(stack[:0], frame{node: int32(start)})
+		st.color[start] = dfsGrey
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(g.adj[f.node]) {
+				succ := g.adj[f.node][f.next]
+				f.next++
+				switch st.color[succ] {
+				case dfsWhite:
+					st.color[succ] = dfsGrey
+					st.parent[succ] = f.node
+					stack = append(stack, frame{node: succ})
+				case dfsGrey:
+					// Found a cycle: walk parents from f.node back to
+					// succ, then reverse into dependency order.
+					var cyc []Channel
+					for v := f.node; ; v = st.parent[v] {
+						cyc = append(cyc, g.channels[v])
+						if v == succ {
+							break
+						}
+					}
+					for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+						cyc[i], cyc[j] = cyc[j], cyc[i]
+					}
+					return cyc
+				}
+			} else {
+				st.color[f.node] = dfsBlack
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// AcyclicJobs reports whether the graph has no cycles, running the Kahn
+// peel over a bounded worker pool (jobs <= 0 means all cores). The answer
+// is identical for every jobs value.
+func (g *Graph) AcyclicJobs(jobs int) bool {
+	var st acyclicState
+	return g.kahnPeel(jobs, &st) == len(g.channels)
+}
+
+// FindCycleJobs returns one dependency cycle (the last element depends on
+// the first), or nil if the graph is acyclic. The acyclicity test is the
+// parallel Kahn peel; cycle extraction runs only on the unpeeled residual,
+// so the common acyclic case is parallel O(V+E) and the cyclic case hands
+// the DFS a smaller graph. Output is identical for every jobs value.
+func (g *Graph) FindCycleJobs(jobs int) []Channel {
+	var st acyclicState
+	if g.kahnPeel(jobs, &st) == len(g.channels) {
+		return nil
+	}
+	return g.findCycleResidual(&st)
+}

@@ -158,6 +158,68 @@ func TestParallelBuildRace(t *testing.T) {
 	}
 }
 
+// TestFindCycleJobsAgreesWithSerialDFS: the Kahn-peel fast path must agree
+// with the reference three-colour DFS on acyclicity for every worker
+// count, and any cycle it reports must be genuine (consecutive channels
+// meet head-to-tail and every hop is a real dependency edge).
+func TestFindCycleJobsAgreesWithSerialDFS(t *testing.T) {
+	nets := []*topology.Network{
+		topology.NewMesh(4, 4),
+		topology.NewMesh(3, 3, 3),
+		topology.NewTorus(4, 4),
+	}
+	sets := map[string]*core.TurnSet{
+		"xy": xyTurnSet(), "all": allTurnSet(), "parity": parityTurnSet(),
+	}
+	for _, net := range nets {
+		for name, ts := range sets {
+			g := BuildFromTurnSet(net, nil, ts)
+			ref := g.FindCycle()
+			for _, jobs := range []int{1, 2, 8} {
+				cyc := g.FindCycleJobs(jobs)
+				if (cyc == nil) != (ref == nil) {
+					t.Fatalf("%s/%s jobs=%d: FindCycleJobs nil=%v, FindCycle nil=%v",
+						net, name, jobs, cyc == nil, ref == nil)
+				}
+				if g.AcyclicJobs(jobs) != (ref == nil) {
+					t.Fatalf("%s/%s jobs=%d: AcyclicJobs disagrees", net, name, jobs)
+				}
+				for i, c := range cyc {
+					next := cyc[(i+1)%len(cyc)]
+					if c.Link.To != next.Link.From {
+						t.Fatalf("%s/%s jobs=%d: cycle breaks at %d: %v", net, name, jobs, i, cyc)
+					}
+					if !g.HasEdge(c.Index, next.Index) {
+						t.Fatalf("%s/%s jobs=%d: cycle hop %d is not an edge", net, name, jobs, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVerifyReportJobsInvariant asserts the full public report — including
+// the extracted cycle on cyclic inputs — is bit-identical for every worker
+// count, through the pooled VerifyTurnSetJobs entry point.
+func TestVerifyReportJobsInvariant(t *testing.T) {
+	for _, net := range []*topology.Network{
+		topology.NewMesh(5, 4),
+		topology.NewTorus(4, 4),
+	} {
+		for name, ts := range map[string]*core.TurnSet{
+			"acyclic": xyTurnSet(), "cyclic": allTurnSet(), "parity": parityTurnSet(),
+		} {
+			want := VerifyTurnSetJobs(net, nil, ts, 1)
+			for _, jobs := range []int{2, 3, 8} {
+				got := VerifyTurnSetJobs(net, nil, ts, jobs)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s/%s jobs=%d: %+v, want %+v", net, name, jobs, got, want)
+				}
+			}
+		}
+	}
+}
+
 func TestFindChannelAndHasEdge(t *testing.T) {
 	net := topology.NewMesh(4, 3)
 	g := NewGraph(net, Uniform(2, 2))

@@ -1,0 +1,161 @@
+package cdg
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"ebda/internal/channel"
+	"ebda/internal/core"
+	"ebda/internal/topology"
+)
+
+// Workspace owns a dependency graph plus all the scratch one verification
+// needs — the per-channel class-match lists and the Kahn/DFS state — so
+// repeated verifications on the same (network, VC configuration) shape
+// reset buffers instead of reallocating them. The channel table, head/tail
+// indices and coordinate table depend only on the shape and are built
+// once; only the adjacency rows change between turn sets, and Reset
+// truncates them in place, keeping their capacity.
+//
+// A Workspace is single-verification at a time: its methods must not be
+// called concurrently (the verification itself still fans out over the
+// worker pool internally). Use a WorkspacePool to share workspaces across
+// goroutines.
+type Workspace struct {
+	g       *Graph
+	st      acyclicState
+	matched [][]int32
+}
+
+// NewWorkspace builds a workspace for one network shape.
+func NewWorkspace(net *topology.Network, vcs VCConfig) *Workspace {
+	return &Workspace{g: NewGraph(net, vcs)}
+}
+
+// Graph returns the workspace's graph. It reflects the most recent
+// verification; Reset or another verification invalidates its edges.
+func (ws *Workspace) Graph() *Graph { return ws.g }
+
+// Reset removes every dependency edge, keeping the channel table and the
+// adjacency rows' capacity for the next build.
+func (ws *Workspace) Reset() {
+	for i := range ws.g.adj {
+		ws.g.adj[i] = ws.g.adj[i][:0]
+	}
+	ws.g.edges = 0
+}
+
+// report runs the acyclicity fast path on the current graph and assembles
+// the Report. The Cycle channels are value copies, so the report stays
+// valid after the workspace is reset or reused.
+func (ws *Workspace) report(jobs int) Report {
+	g := ws.g
+	var cyc []Channel
+	if g.kahnPeel(jobs, &ws.st) != len(g.channels) {
+		cyc = g.findCycleResidual(&ws.st)
+	}
+	return Report{
+		Network:  g.net.String(),
+		Channels: g.NumChannels(),
+		Edges:    g.NumEdges(),
+		Acyclic:  cyc == nil,
+		Cycle:    cyc,
+	}
+}
+
+// VerifyTurnSetJobs resets the workspace, builds the dependency graph of
+// the turn set and checks acyclicity (jobs <= 0 means all cores). The
+// report is bit-identical to the unpooled path for every jobs value.
+func (ws *Workspace) VerifyTurnSetJobs(ts *core.TurnSet, jobs int) Report {
+	ws.Reset()
+	if ws.matched == nil {
+		ws.matched = make([][]int32, len(ws.g.channels))
+	}
+	ws.g.addTurnEdges(ts, jobs, ws.matched)
+	return ws.report(jobs)
+}
+
+// VerifyRelationJobs resets the workspace, builds the dependency graph of
+// a routing relation and checks acyclicity (jobs <= 0 means all cores).
+// name overrides the report's Network field when non-empty (routing
+// verifications label reports "network / algorithm").
+func (ws *Workspace) VerifyRelationJobs(route RoutingRelation, name string, jobs int) Report {
+	ws.Reset()
+	ws.g.AddRoutingEdgesJobs(route, jobs)
+	rep := ws.report(jobs)
+	if name != "" {
+		rep.Network = name
+	}
+	return rep
+}
+
+// poolKey identifies a workspace shape: the network (by identity —
+// geometry is immutable after build) and the canonical VC configuration.
+type poolKey struct {
+	net *topology.Network
+	vcs string
+}
+
+// canonicalVCs renders the effective per-dimension VC counts, so
+// VCConfigs that differ only in representation (nil vs explicit ones,
+// trailing defaults) share workspaces.
+func canonicalVCs(net *topology.Network, vcs VCConfig) string {
+	var b strings.Builder
+	for d := 0; d < net.Dims(); d++ {
+		fmt.Fprintf(&b, "%d,", vcs.VCs(channel.Dim(d)))
+	}
+	return b.String()
+}
+
+// WorkspacePool is a goroutine-safe free list of workspaces keyed by
+// shape. Get returns a pooled workspace or builds a fresh one; Put
+// returns it for reuse. Growth is bounded: each shape keeps at most
+// GOMAXPROCS idle workspaces, and when the number of distinct shapes
+// exceeds maxPoolKeys the pool is cleared wholesale (an epoch flush —
+// correctness never depends on pool contents).
+type WorkspacePool struct {
+	mu   sync.Mutex
+	free map[poolKey][]*Workspace
+}
+
+// maxPoolKeys bounds the number of distinct shapes the pool retains.
+const maxPoolKeys = 64
+
+// DefaultPool is the process-wide workspace pool used by VerifyTurnSet
+// and the verification cache.
+var DefaultPool = &WorkspacePool{}
+
+// Get returns a workspace for the shape, reusing a pooled one when
+// available.
+func (p *WorkspacePool) Get(net *topology.Network, vcs VCConfig) *Workspace {
+	key := poolKey{net, canonicalVCs(net, vcs)}
+	p.mu.Lock()
+	if list := p.free[key]; len(list) > 0 {
+		ws := list[len(list)-1]
+		list[len(list)-1] = nil
+		p.free[key] = list[:len(list)-1]
+		p.mu.Unlock()
+		return ws
+	}
+	p.mu.Unlock()
+	return NewWorkspace(net, vcs)
+}
+
+// Put returns a workspace to the pool. The caller must not use it (or any
+// Graph obtained from it) afterwards.
+func (p *WorkspacePool) Put(ws *Workspace) {
+	key := poolKey{ws.g.net, canonicalVCs(ws.g.net, ws.g.vcs)}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.free == nil {
+		p.free = make(map[poolKey][]*Workspace)
+	}
+	if _, ok := p.free[key]; !ok && len(p.free) >= maxPoolKeys {
+		p.free = make(map[poolKey][]*Workspace)
+	}
+	if list := p.free[key]; len(list) < runtime.GOMAXPROCS(0) {
+		p.free[key] = append(list, ws)
+	}
+}

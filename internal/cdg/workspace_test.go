@@ -1,0 +1,146 @@
+package cdg
+
+import (
+	"reflect"
+	"testing"
+
+	"ebda/internal/core"
+	"ebda/internal/topology"
+)
+
+// freshReport is the unpooled reference: a brand-new graph and workspace
+// state per call, so reuse bugs in the pooled path cannot hide.
+func freshReport(net *topology.Network, vcs VCConfig, ts *core.TurnSet, jobs int) Report {
+	return NewWorkspace(net, vcs).VerifyTurnSetJobs(ts, jobs)
+}
+
+func TestWorkspaceReuseMatchesFresh(t *testing.T) {
+	net := topology.NewMesh(5, 4)
+	ws := NewWorkspace(net, nil)
+	// Alternate acyclic and cyclic turn sets through one workspace; every
+	// result must equal a fresh single-use verification, including the
+	// extracted cycle.
+	sets := []*core.TurnSet{
+		xyTurnSet(), allTurnSet(), xyTurnSet(), parityTurnSet(), allTurnSet(),
+	}
+	for i, ts := range sets {
+		got := ws.VerifyTurnSetJobs(ts, 0)
+		want := freshReport(net, nil, ts, 1)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("reuse %d: report %+v, fresh %+v", i, got, want)
+		}
+	}
+}
+
+func TestWorkspaceJobsInvariant(t *testing.T) {
+	net := topology.NewMesh(5, 5)
+	for name, ts := range map[string]*core.TurnSet{
+		"acyclic": xyTurnSet(), "cyclic": allTurnSet(),
+	} {
+		want := freshReport(net, nil, ts, 1)
+		for _, jobs := range []int{2, 3, 8} {
+			got := freshReport(net, nil, ts, jobs)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s jobs=%d: %+v, want %+v", name, jobs, got, want)
+			}
+		}
+	}
+}
+
+func TestWorkspaceVerifyRelation(t *testing.T) {
+	net := topology.NewMesh(4, 4)
+	ws := NewWorkspace(net, nil)
+	rep := ws.VerifyRelationJobs(xyRoute, "4x4 mesh / dor", 0)
+	if !rep.Acyclic {
+		t.Fatalf("dimension-order routing must be acyclic: %s", rep)
+	}
+	if rep.Network != "4x4 mesh / dor" {
+		t.Errorf("Network = %q, want the caller-supplied name", rep.Network)
+	}
+	// Reference: unpooled construction.
+	g := NewGraph(net, nil)
+	g.AddRoutingEdgesJobs(xyRoute, 1)
+	if rep.Edges != g.NumEdges() {
+		t.Errorf("edges = %d, want %d", rep.Edges, g.NumEdges())
+	}
+	// Reuse after a routing build must still be clean.
+	again := ws.VerifyTurnSetJobs(xyTurnSet(), 0)
+	want := freshReport(net, nil, xyTurnSet(), 1)
+	if !reflect.DeepEqual(again, want) {
+		t.Errorf("turn-set verify after routing verify: %+v, want %+v", again, want)
+	}
+}
+
+func TestWorkspacePoolReuse(t *testing.T) {
+	pool := &WorkspacePool{}
+	net := topology.NewMesh(3, 3)
+	ws := pool.Get(net, nil)
+	pool.Put(ws)
+	if got := pool.Get(net, nil); got != ws {
+		t.Error("pool did not reuse the returned workspace")
+	}
+	// Equivalent VC configurations share a shape.
+	pool.Put(ws)
+	if got := pool.Get(net, VCConfig{1, 1}); got != ws {
+		t.Error("nil and explicit all-ones VCConfig must share workspaces")
+	}
+	// Different VC configurations must not.
+	pool.Put(ws)
+	if got := pool.Get(net, Uniform(2, 2)); got == ws {
+		t.Error("different VC configuration reused an incompatible workspace")
+	}
+	// Different network instances are distinct shapes (identity keyed).
+	if got := pool.Get(topology.NewMesh(3, 3), nil); got == ws {
+		t.Error("distinct network instance reused another network's workspace")
+	}
+}
+
+func TestAddEdgesBatch(t *testing.T) {
+	net := topology.NewMesh(3, 3)
+	a := NewGraph(net, nil)
+	b := NewGraph(net, nil)
+	// Batched insertion must match the incremental path for unsorted
+	// input, interleaved batches, and merges below the current maximum.
+	batches := [][]int32{
+		{9, 2, 7},
+		{5},
+		{4, 3, 11},
+		{1, 10},
+	}
+	for _, batch := range batches {
+		for _, v := range batch {
+			a.AddEdge(5, int(v))
+		}
+		b.AddEdges(5, append([]int32(nil), batch...)...)
+	}
+	b.AddEdges(7) // empty batch is a no-op
+	if !reflect.DeepEqual(a.Succs(5), b.Succs(5)) {
+		t.Errorf("AddEdges row = %v, AddEdge row = %v", b.Succs(5), a.Succs(5))
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Errorf("edge counts diverge: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+}
+
+func TestMergeSorted(t *testing.T) {
+	cases := []struct {
+		row, batch, want []int32
+	}{
+		{nil, nil, nil},
+		{nil, []int32{3, 5}, []int32{3, 5}},
+		{[]int32{1, 4}, nil, []int32{1, 4}},
+		{[]int32{1, 4}, []int32{4, 9}, []int32{1, 4, 4, 9}},
+		{[]int32{5, 8}, []int32{1, 6, 9}, []int32{1, 5, 6, 8, 9}},
+		{[]int32{2, 3, 7}, []int32{1, 1, 8}, []int32{1, 1, 2, 3, 7, 8}},
+	}
+	for _, tc := range cases {
+		row := append([]int32(nil), tc.row...)
+		got := mergeSorted(row, tc.batch)
+		if len(got) == 0 {
+			got = nil
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("mergeSorted(%v, %v) = %v, want %v", tc.row, tc.batch, got, tc.want)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"ebda/internal/channel"
 )
@@ -109,6 +110,13 @@ func (t Turn) PlainString() string { return t.From.ShortPlain() + t.To.ShortPlai
 type TurnSet struct {
 	turns    map[[2]channel.Class]Theorem
 	declared map[channel.Class]bool
+
+	// mu guards matrix, the memoized allow-matrix. Mutations (Add,
+	// Declare) invalidate it; Matrix rebuilds on demand. The maps above
+	// are not guarded: TurnSet construction is single-goroutine, and only
+	// the built set (and its immutable matrix) is shared across workers.
+	mu     sync.Mutex
+	matrix *AllowMatrix
 }
 
 // NewTurnSet returns an empty turn set.
@@ -124,6 +132,7 @@ func NewTurnSet() *TurnSet {
 // Theorem 1 stays labelled T1 even if a later transition would also
 // produce it).
 func (s *TurnSet) Add(from, to channel.Class, src Theorem) {
+	s.invalidate()
 	s.declared[from] = true
 	s.declared[to] = true
 	key := [2]channel.Class{from, to}
@@ -133,9 +142,19 @@ func (s *TurnSet) Add(from, to channel.Class, src Theorem) {
 	s.turns[key] = src
 }
 
+// invalidate drops the memoized allow-matrix after a mutation.
+func (s *TurnSet) invalidate() {
+	s.mu.Lock()
+	s.matrix = nil
+	s.mu.Unlock()
+}
+
 // Declare registers a channel class as part of the design without adding
 // any turn. Declared classes permit same-class continuation.
-func (s *TurnSet) Declare(cls channel.Class) { s.declared[cls] = true }
+func (s *TurnSet) Declare(cls channel.Class) {
+	s.invalidate()
+	s.declared[cls] = true
+}
 
 // Declared reports whether a class is part of the design.
 func (s *TurnSet) Declared(cls channel.Class) bool { return s.declared[cls] }
@@ -241,10 +260,22 @@ type AllowMatrix struct {
 	rows []uint64
 }
 
-// Matrix builds the dense allow-matrix of the set's current state. Class
+// Matrix returns the dense allow-matrix of the set's current state. Class
 // indices follow Classes() order (sorted), and same-class continuation of
-// declared classes is included, matching Allows.
+// declared classes is included, matching Allows. The matrix is memoized:
+// repeated calls between mutations return the same immutable snapshot, so
+// hot verification loops pay the dense build once per turn set.
 func (s *TurnSet) Matrix() *AllowMatrix {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.matrix == nil {
+		s.matrix = s.buildMatrix()
+	}
+	return s.matrix
+}
+
+// buildMatrix constructs a fresh dense snapshot; callers hold s.mu.
+func (s *TurnSet) buildMatrix() *AllowMatrix {
 	classes := s.Classes()
 	m := &AllowMatrix{
 		classes: classes,
@@ -341,6 +372,58 @@ func (s *TurnSet) Subset(o *TurnSet) bool {
 		}
 	}
 	return true
+}
+
+// Fingerprint returns two independent 64-bit digests of the transition
+// relation: the declared classes plus every (from, to) turn pair. Theorem
+// labels are excluded — verification depends only on Allows — so two sets
+// that are Equal with the same declarations always share a fingerprint,
+// even when built by different derivations. Per-element digests combine by
+// addition, which is commutative, so map iteration order cannot change the
+// result. Verification caches key on the first digest and store the second
+// as a collision check.
+func (s *TurnSet) Fingerprint() (uint64, uint64) {
+	const (
+		declSeedA = 0x9e3779b97f4a7c15
+		declSeedB = 0xc2b2ae3d27d4eb4f
+		turnSeedA = 0xd6e8feb86659fd93
+		turnSeedB = 0xa0761d6478bd642f
+	)
+	var h1, h2 uint64
+	for c := range s.declared {
+		e := classCode(c)
+		h1 += mix64(e ^ declSeedA)
+		h2 += mix64(e ^ declSeedB)
+	}
+	for key := range s.turns {
+		// The pair combination is ordered (from*prime ^ to), so the turn
+		// a->b and its reverse b->a digest differently.
+		e := classCode(key[0])*0x100000001b3 ^ classCode(key[1])
+		h1 += mix64(e ^ turnSeedA)
+		h2 += mix64(e ^ turnSeedB)
+	}
+	return h1, h2
+}
+
+// classCode packs a channel class into a uint64 for fingerprinting.
+func classCode(c channel.Class) uint64 {
+	e := uint64(uint32(int32(c.Dim)))
+	e = e*1000003 + uint64(uint32(int32(c.Sign)))
+	e = e*1000003 + uint64(uint32(int32(c.VC)))
+	e = e*1000003 + uint64(uint32(int32(c.PDim)))
+	e = e*1000003 + uint64(uint32(int32(c.Par)))
+	return e
+}
+
+// mix64 is the splitmix64 finalizer: a fast, well-distributed bijection
+// used to decorrelate the additive fingerprint terms.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // String renders the set grouped by kind, in Short notation, e.g.

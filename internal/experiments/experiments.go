@@ -145,7 +145,7 @@ func E01(Options) Result {
 	chain := paper.Figure3()
 	ts := chain.Turns90()
 	got := core.FormatTurnsPlain(ts.Turns())
-	rep := cdg.VerifyChain(topology.NewMesh(8, 8), chain)
+	rep := cdg.VerifyChainCached(topology.NewMesh(8, 8), chain)
 	match := sameTurnWords(got, paper.Figure3Turns) && rep.Acyclic
 	return Result{
 		Paper:    "P{X+ X- Y-} allows exactly WS, SE, ES, SW; cycle-free",
@@ -172,7 +172,7 @@ func E03(Options) Result {
 	chain := paper.Figure5()
 	got := core.FormatTurnsPlain(chain.Turns90().Turns())
 	_, nU, _ := chain.AllTurns().Counts()
-	rep := cdg.VerifyChain(topology.NewMesh(8, 8), chain)
+	rep := cdg.VerifyChainCached(topology.NewMesh(8, 8), chain)
 	match := sameTurnWords(got, paper.Figure5Turns90) && nU == 2 && rep.Acyclic
 	return Result{
 		Paper:    "PA{X+ X- Y-} -> PB{Y+} yields North-Last (6 turns) plus 2 safe U-turns",
@@ -193,7 +193,7 @@ func E04(Options) Result {
 	var details []string
 	for _, nc := range paper.Figure6() {
 		got := core.FormatTurnsPlain(nc.Chain.Turns90().Turns())
-		rep := cdg.VerifyChain(mesh, nc.Chain)
+		rep := cdg.VerifyChainCached(mesh, nc.Chain)
 		ok := rep.Acyclic
 		if want, check := want90[nc.Name]; check {
 			ok = ok && sameTurnWords(got, want)
@@ -228,7 +228,7 @@ func E05(Options) Result {
 		{"Figure 7(b) P1 (DyXY)", paper.Figure7P1(), 6},
 		{"Figure 7(c) P2", paper.Figure7P2(), 6},
 	} {
-		rep := cdg.VerifyChain(mesh, tc.chain)
+		rep := cdg.VerifyChainCached(mesh, tc.chain)
 		vcs := cdg.VCConfigFor(2, tc.chain.Channels())
 		ad, err := cdg.Adaptiveness(mesh, vcs, tc.chain.AllTurns())
 		ok := err == nil && rep.Acyclic && ad.FullyAdaptive() && len(tc.chain.Channels()) == tc.chans
@@ -249,7 +249,7 @@ func E06(Options) Result {
 	chain := paper.Figure8()
 	ts := chain.AllTurns()
 	n90, nU, nI := ts.Counts()
-	rep := cdg.VerifyChain(topology.NewMesh(3, 3, 3), chain)
+	rep := cdg.VerifyChainCached(topology.NewMesh(3, 3, 3), chain)
 	boxes := paper.Figure8Boxes()
 	match := n90 == 100 && nU == 24 && nI == 16 && rep.Acyclic
 	var details []string
@@ -294,7 +294,7 @@ func E07(opts Options) Result {
 		{"Figure 9(b)", paper.Figure9B()},
 		{"Figure 9(c)", paper.Figure9C()},
 	} {
-		rep := cdg.VerifyChain(mesh3, tc.chain)
+		rep := cdg.VerifyChainCached(mesh3, tc.chain)
 		vcs := cdg.VCConfigFor(3, tc.chain.Channels())
 		ad, err := cdg.Adaptiveness(mesh3, vcs, tc.chain.AllTurns())
 		ok := err == nil && rep.Acyclic && ad.FullyAdaptive()
@@ -349,7 +349,7 @@ func tableResult(n int) Result {
 	var details []string
 	for i, c := range chains {
 		got := c.PlainString()
-		rep := cdg.VerifyChain(mesh, c)
+		rep := cdg.VerifyChainCached(mesh, c)
 		ok := i < len(expected) && got == expected[i] && rep.Acyclic
 		match = match && ok
 		details = append(details, fmt.Sprintf("%-34s acyclic=%v", got, rep.Acyclic))
@@ -366,7 +366,7 @@ func tableResult(n int) Result {
 func E11(Options) Result {
 	chain := paper.Table4Chain()
 	mesh := topology.NewMesh(6, 6)
-	rep := cdg.VerifyChain(mesh, chain)
+	rep := cdg.VerifyChainCached(mesh, chain)
 	conn := cdg.Connectivity(mesh, nil, chain.AllTurns(), true)
 	n90, _, _ := chain.Turns90().Counts()
 	oe, _ := cdg.Adaptiveness(mesh, nil, chain.AllTurns())
@@ -388,7 +388,7 @@ func E12(Options) Result {
 	n90, nU, nI := chain.AllTurns().Counts()
 	net := topology.NewPartialMesh3D(4, 4, 3, [][2]int{{0, 0}, {3, 3}})
 	vcs := cdg.VCConfigFor(3, chain.Channels())
-	rep := cdg.VerifyTurnSet(net, vcs, chain.AllTurns())
+	rep := cdg.VerifyTurnSetCached(net, vcs, chain.AllTurns())
 	conn := cdg.Connectivity(net, vcs, chain.AllTurns(), false)
 	alg := routing.NewEbDaElevator(chain, routing.Elevators{{0, 0}, {3, 3}})
 	del := routing.CheckDelivery(net, alg, 96)
@@ -463,7 +463,7 @@ func E14(Options) Result {
 		return Result{Measured: err.Error()}
 	}
 	got := chain.String()
-	rep := cdg.VerifyChain(topology.NewMesh(3, 3, 3), chain)
+	rep := cdg.VerifyChainCached(topology.NewMesh(3, 3, 3), chain)
 	match := got == paper.Section5Expected && rep.Acyclic
 	return Result{
 		Paper:    "Algorithm 1 on 3,2,3 VCs yields " + paper.Section5Expected,
@@ -484,7 +484,7 @@ func E15(Options) Result {
 		}
 	}
 	mesh := topology.NewMesh(6, 6)
-	rep := cdg.VerifyTurnSet(mesh, nil, ts)
+	rep := cdg.VerifyTurnSetCached(mesh, nil, ts)
 	conn := cdg.Connectivity(mesh, nil, ts, false)
 	match := n90 == 12 && all && rep.Acyclic && conn.Connected()
 	return Result{
@@ -780,7 +780,7 @@ func X06(opts Options) Result {
 		return Result{Measured: err.Error()}
 	}
 	ts := paper.HamiltonianChain().AllTurns()
-	rep := cdg.VerifyTurnSet(net, nil, ts)
+	rep := cdg.VerifyTurnSetCached(net, nil, ts)
 
 	// Broadcast from every corner; all turns checked, hops compared.
 	match := rep.Acyclic

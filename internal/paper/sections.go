@@ -113,7 +113,7 @@ func TurnModelSearch(mesh *topology.Network) []TurnRemoval {
 					ts.Add(t.From, t.To, core.ByTheorem1)
 				}
 			}
-			rep := cdg.VerifyTurnSet(mesh, nil, ts)
+			rep := cdg.VerifyTurnSetCached(mesh, nil, ts)
 			out = append(out, TurnRemoval{
 				RemovedCW: rc, RemovedCCW: rcc,
 				DeadlockFree:  rep.Acyclic,
@@ -275,7 +275,7 @@ func TurnModelSearch3D(mesh *topology.Network) Search3DResult {
 					}
 				}
 			}
-			if cdg.VerifyTurnSet(mesh, nil, ts).Acyclic {
+			if cdg.VerifyTurnSetCached(mesh, nil, ts).Acyclic {
 				res.DeadlockFree++
 				var c combo
 				copy(c[:], removal)

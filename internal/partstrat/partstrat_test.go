@@ -274,7 +274,7 @@ func TestQuickAlgorithm1InvariantsHold(t *testing.T) {
 			net = net3
 		}
 		vcfg := cdg.VCConfigFor(dims, chain.Channels())
-		return cdg.VerifyTurnSet(net, vcfg, chain.AllTurns()).Acyclic
+		return cdg.VerifyTurnSetCached(net, vcfg, chain.AllTurns()).Acyclic
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
@@ -338,7 +338,7 @@ func TestDeriveWithPairingsProducesValidDistinctChains(t *testing.T) {
 			t.Errorf("%s: %d channels", c, len(c.Channels()))
 		}
 		vcs := cdg.VCConfigFor(2, c.Channels())
-		if !cdg.VerifyTurnSet(net, vcs, c.AllTurns()).Acyclic {
+		if !cdg.VerifyTurnSetCached(net, vcs, c.AllTurns()).Acyclic {
 			t.Errorf("%s: cyclic", c)
 		}
 		for _, p := range c.Partitions() {

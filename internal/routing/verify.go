@@ -38,17 +38,13 @@ func Verify(net *topology.Network, vcs cdg.VCConfig, alg Algorithm) cdg.Report {
 
 // VerifyJobs is Verify over a bounded worker pool (jobs <= 0 means all
 // cores). The algorithm's Candidates is called concurrently when jobs > 1.
+// The build runs in a pooled cdg.Workspace, so repeated verifications on
+// the same network shape reuse the channel table and adjacency rows.
 func VerifyJobs(net *topology.Network, vcs cdg.VCConfig, alg Algorithm, jobs int) cdg.Report {
-	g := cdg.NewGraph(net, vcs)
-	g.AddRoutingEdgesJobs(Relation(alg), jobs)
-	cyc := g.FindCycle()
-	return cdg.Report{
-		Network:  net.String() + " / " + alg.Name(),
-		Channels: g.NumChannels(),
-		Edges:    g.NumEdges(),
-		Acyclic:  cyc == nil,
-		Cycle:    cyc,
-	}
+	ws := cdg.DefaultPool.Get(net, vcs)
+	rep := ws.VerifyRelationJobs(Relation(alg), net.String()+" / "+alg.Name(), jobs)
+	cdg.DefaultPool.Put(ws)
+	return rep
 }
 
 // DeliveryReport summarises a walk-based delivery check.

@@ -11,6 +11,7 @@ package topology
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"ebda/internal/channel"
 )
@@ -70,6 +71,12 @@ type Network struct {
 	strides []int
 	nodes   int
 	filter  LinkFilter
+
+	// linksOnce/links memoize the link enumeration: the geometry is
+	// immutable after build, and verification workspaces, caches and
+	// graph constructors all consume the same list.
+	linksOnce sync.Once
+	links     []Link
 }
 
 // NewMesh returns an n-dimensional mesh with the given per-dimension sizes,
@@ -168,6 +175,11 @@ func build(name string, sizes []int, wrap []bool, filter LinkFilter) *Network {
 // Name returns the topology family name ("mesh", "torus", ...).
 func (n *Network) Name() string { return n.name }
 
+// Regular reports whether the network is fully described by its sizes and
+// wraparound flags (no irregularity filter). Regular networks of equal
+// shape have identical link sets, which verification caches exploit.
+func (n *Network) Regular() bool { return n.filter == nil }
+
 // Dims returns the number of dimensions.
 func (n *Network) Dims() int { return len(n.dims) }
 
@@ -252,25 +264,29 @@ func (n *Network) HasLink(id NodeID, d channel.Dim, sign channel.Sign) bool {
 }
 
 // Links returns every unidirectional physical link in the network, ordered
-// by source node, then dimension, then sign (+ before -).
+// by source node, then dimension, then sign (+ before -). The list is
+// computed once and shared; the returned slice must not be modified.
 func (n *Network) Links() []Link {
-	var links []Link
-	for id := NodeID(0); int(id) < n.nodes; id++ {
-		for d := 0; d < len(n.dims); d++ {
-			for _, sign := range []channel.Sign{channel.Plus, channel.Minus} {
-				to, wrapped, ok := n.Neighbor(id, channel.Dim(d), sign)
-				if !ok {
-					continue
+	n.linksOnce.Do(func() {
+		var links []Link
+		for id := NodeID(0); int(id) < n.nodes; id++ {
+			for d := 0; d < len(n.dims); d++ {
+				for _, sign := range []channel.Sign{channel.Plus, channel.Minus} {
+					to, wrapped, ok := n.Neighbor(id, channel.Dim(d), sign)
+					if !ok {
+						continue
+					}
+					links = append(links, Link{
+						From: id, To: to,
+						Dim: channel.Dim(d), Sign: sign,
+						Wrap: wrapped,
+					})
 				}
-				links = append(links, Link{
-					From: id, To: to,
-					Dim: channel.Dim(d), Sign: sign,
-					Wrap: wrapped,
-				})
 			}
 		}
-	}
-	return links
+		n.links = links
+	})
+	return n.links
 }
 
 // MinimalOffsets returns, per dimension, the signed hop count of a minimal
