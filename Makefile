@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-diff repro fmt vet check clean
+.PHONY: all build test race bench bench-json bench-diff repro fmt vet lint check clean
 
 all: check
 
@@ -39,8 +39,14 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# lint = go vet + the repo's own analyzer suite (detlint, locklint,
+# hotpath, verifygate); see CONTRIBUTING.md for the invariants each
+# analyzer enforces and the //ebda:allow escape hatch.
+lint: vet
+	$(GO) run ./cmd/ebda-lint ./...
+
 # race is part of check so the worker pools are race-tested routinely.
-check: build vet test race
+check: build lint test race
 
 clean:
 	$(GO) clean ./...

@@ -19,44 +19,59 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ebda/internal/experiments"
 )
 
 func main() {
-	threshold := flag.Float64("threshold", 1.20, "fail when new/old wall-time ratio exceeds this")
-	minWall := flag.Float64("minwall", 0.005, "ignore entries whose baseline wall time is below this many seconds")
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: ebda-benchdiff [-threshold 1.2] [-minwall 0.005] OLD.json NEW.json")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses argv, performs the diff and
+// returns the process exit status (0 clean, 1 regression, 2 usage/load
+// error).
+func run(argv []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("ebda-benchdiff", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	threshold := fs.Float64("threshold", 1.20, "fail when new/old wall-time ratio exceeds this")
+	minWall := fs.Float64("minwall", 0.005, "ignore entries whose baseline wall time is below this many seconds")
+	if err := fs.Parse(argv); err != nil {
+		return 2
 	}
-	oldB, err := load(flag.Arg(0))
-	if err != nil {
-		fatal(err)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(errw, "usage: ebda-benchdiff [-threshold 1.2] [-minwall 0.005] OLD.json NEW.json")
+		return 2
 	}
-	newB, err := load(flag.Arg(1))
+	oldB, err := load(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(errw, "ebda-benchdiff:", err)
+		return 2
+	}
+	newB, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(errw, "ebda-benchdiff:", err)
+		return 2
 	}
 
-	fmt.Printf("old: %s (%s, jobs=%d, gomaxprocs=%d)\n",
-		flag.Arg(0), oldB.GoVersion, oldB.Jobs, oldB.GoMaxProcs)
-	fmt.Printf("new: %s (%s, jobs=%d, gomaxprocs=%d)\n",
-		flag.Arg(1), newB.GoVersion, newB.Jobs, newB.GoMaxProcs)
+	fmt.Fprintf(out, "old: %s (%s, jobs=%d, gomaxprocs=%d)\n",
+		fs.Arg(0), oldB.GoVersion, oldB.Jobs, oldB.GoMaxProcs)
+	fmt.Fprintf(out, "new: %s (%s, jobs=%d, gomaxprocs=%d)\n",
+		fs.Arg(1), newB.GoVersion, newB.Jobs, newB.GoMaxProcs)
 	if oldB.Quick != newB.Quick {
-		fmt.Println("warning: snapshots differ in -quick; wall times are not comparable")
+		fmt.Fprintln(out, "warning: snapshots differ in -quick; wall times are not comparable")
 	}
 
 	regressions := 0
-	regressions += diffRows(expRows(oldB), expRows(newB), *threshold, *minWall)
-	regressions += diffRows(cdgRows(oldB), cdgRows(newB), *threshold, *minWall)
+	regressions += diffRows(out, expRows(oldB), expRows(newB), *threshold, *minWall)
+	regressions += diffRows(out, cdgRows(oldB), cdgRows(newB), *threshold, *minWall)
 	if regressions > 0 {
-		fmt.Printf("\n%d regression(s) beyond %.0f%%\n", regressions, (*threshold-1)*100)
-		os.Exit(1)
+		fmt.Fprintf(out, "\n%d regression(s) beyond %.0f%%\n", regressions, (*threshold-1)*100)
+		return 1
 	}
-	fmt.Println("\nno wall-time regressions")
+	fmt.Fprintln(out, "\nno wall-time regressions")
+	return 0
 }
 
 // row is one comparable measurement.
@@ -83,7 +98,7 @@ func cdgRows(b experiments.Bench) []row {
 
 // diffRows prints the comparison of matching rows (by name) and returns
 // the number of regressions.
-func diffRows(oldRows, newRows []row, threshold, minWall float64) int {
+func diffRows(w io.Writer, oldRows, newRows []row, threshold, minWall float64) int {
 	byName := make(map[string]row, len(oldRows))
 	for _, r := range oldRows {
 		byName[r.name] = r
@@ -92,7 +107,7 @@ func diffRows(oldRows, newRows []row, threshold, minWall float64) int {
 	for _, n := range newRows {
 		o, ok := byName[n.name]
 		if !ok {
-			fmt.Printf("  %-28s only in new snapshot\n", n.name)
+			fmt.Fprintf(w, "  %-28s only in new snapshot\n", n.name)
 			continue
 		}
 		delete(byName, n.name)
@@ -108,12 +123,12 @@ func diffRows(oldRows, newRows []row, threshold, minWall float64) int {
 			status = "REGRESSION"
 			regressions++
 		}
-		fmt.Printf("  %-28s %10.4fs -> %10.4fs  (%5.2fx)  %s\n",
+		fmt.Fprintf(w, "  %-28s %10.4fs -> %10.4fs  (%5.2fx)  %s\n",
 			n.name, o.wall, n.wall, ratio, status)
 	}
 	for _, o := range oldRows {
 		if _, ok := byName[o.name]; ok {
-			fmt.Printf("  %-28s only in old snapshot\n", o.name)
+			fmt.Fprintf(w, "  %-28s only in old snapshot\n", o.name)
 		}
 	}
 	return regressions
@@ -129,9 +144,4 @@ func load(path string) (experiments.Bench, error) {
 		return b, fmt.Errorf("%s: %w", path, err)
 	}
 	return b, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ebda-benchdiff:", err)
-	os.Exit(2)
 }

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ebda/internal/experiments"
+)
+
+// snapshot builds a Bench fixture with one experiment and one CDG case at
+// the given wall times (seconds).
+func snapshot(expWall, cdgWall float64) experiments.Bench {
+	return experiments.Bench{
+		GoVersion:  "go1.22",
+		NumCPU:     8,
+		GoMaxProcs: 8,
+		Experiments: []experiments.BenchExperiment{
+			{ID: "fig7", Name: "Figure 7", WallSeconds: expWall, Match: true},
+		},
+		CDG: []experiments.BenchCDG{
+			{Network: "16x16 mesh", Channels: 480, Edges: 1000, Acyclic: true,
+				WallSeconds: cdgWall, ChannelsPerSec: float64(480) / cdgWall},
+		},
+	}
+}
+
+// writeSnapshot marshals b into dir and returns the file path.
+func writeSnapshot(t *testing.T, dir, name string, b experiments.Bench) string {
+	t.Helper()
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestEqualSnapshots diffs a snapshot against itself: exit 0, no
+// regressions.
+func TestEqualSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json", snapshot(1.0, 0.5))
+	cur := writeSnapshot(t, dir, "new.json", snapshot(1.0, 0.5))
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "no wall-time regressions") {
+		t.Errorf("missing clean verdict in output:\n%s", out.String())
+	}
+}
+
+// TestRegression diffs against a snapshot >20% slower: exit 1 and a
+// REGRESSION row.
+func TestRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json", snapshot(1.0, 0.5))
+	cur := writeSnapshot(t, dir, "new.json", snapshot(1.5, 0.5))
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 1 {
+		t.Fatalf("run = %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("missing REGRESSION row in output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "1 regression(s) beyond 20%") {
+		t.Errorf("missing regression summary in output:\n%s", out.String())
+	}
+}
+
+// TestBelowMinwallSkipped checks that a huge ratio on a sub-minwall
+// baseline is noise, not a regression.
+func TestBelowMinwallSkipped(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json", snapshot(0.001, 0.002))
+	cur := writeSnapshot(t, dir, "new.json", snapshot(0.004, 0.004))
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "skip (below minwall)") {
+		t.Errorf("missing minwall skip in output:\n%s", out.String())
+	}
+}
+
+// TestThresholdFlag tightens the threshold so a 10% slowdown fails.
+func TestThresholdFlag(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json", snapshot(1.0, 0.5))
+	cur := writeSnapshot(t, dir, "new.json", snapshot(1.1, 0.5))
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 0 {
+		t.Fatalf("default threshold: run = %d, want 0", code)
+	}
+	out.Reset()
+	if code := run([]string{"-threshold", "1.05", old, cur}, &out, &errw); code != 1 {
+		t.Fatalf("-threshold 1.05: run = %d, want 1; output:\n%s", code, out.String())
+	}
+}
+
+// TestMalformedJSON checks load failures exit 2.
+func TestMalformedJSON(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good := writeSnapshot(t, dir, "good.json", snapshot(1.0, 0.5))
+	var out, errw bytes.Buffer
+	if code := run([]string{bad, good}, &out, &errw); code != 2 {
+		t.Fatalf("malformed old: run = %d, want 2", code)
+	}
+	errw.Reset()
+	if code := run([]string{good, bad}, &out, &errw); code != 2 {
+		t.Fatalf("malformed new: run = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "bad.json") {
+		t.Errorf("stderr does not name the malformed file: %s", errw.String())
+	}
+}
+
+// TestUsageErrors checks missing arguments and unknown flags exit 2.
+func TestUsageErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(nil, &out, &errw); code != 2 {
+		t.Fatalf("no args: run = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "usage:") {
+		t.Errorf("missing usage line: %s", errw.String())
+	}
+	if code := run([]string{"-bogus"}, &out, &errw); code != 2 {
+		t.Fatalf("unknown flag: run = %d, want 2", code)
+	}
+	if code := run([]string{"only-one.json"}, &out, &errw); code != 2 {
+		t.Fatalf("one arg: run = %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent/a.json", "/nonexistent/b.json"}, &out, &errw); code != 2 {
+		t.Fatalf("missing files: run = %d, want 2", code)
+	}
+}

@@ -5,12 +5,13 @@
 //
 // Usage:
 //
-//	ebda-figures [-fig N]    (N in {0, 3..9, 14, 15}; default: all)
+//	ebda-figures [-fig N]    (N in {0, 3..10, 14, 15}; default: all)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ebda/internal/cdg"
@@ -20,24 +21,40 @@ import (
 )
 
 func main() {
-	fig := flag.Int("fig", -1, "figure number (0, 3-9, 14, 15); -1 prints all")
+	fig := flag.Int("fig", -1, "figure number (0, 3-10, 14, 15); -1 prints all")
 	flag.Parse()
-	figs := []int{0, 3, 4, 5, 6, 7, 8, 9, 10, 14, 15}
+	figs := allFigs
 	if *fig >= 0 {
 		figs = []int{*fig}
 	}
-	for _, f := range figs {
-		if fn, ok := printers[f]; ok {
-			fn()
-			fmt.Println()
-		} else {
-			fmt.Fprintf(os.Stderr, "unknown figure %d\n", f)
-			os.Exit(2)
-		}
+	if err := render(os.Stdout, figs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 }
 
-var printers = map[int]func(){
+// allFigs fixes the emission order; printers is a map, so iteration must
+// never range over it directly.
+var allFigs = []int{0, 3, 4, 5, 6, 7, 8, 9, 10, 14, 15}
+
+// render writes the requested figures to w. All output flows through w so
+// the emitters are testable — the regression tests render twice and
+// require byte-identical output.
+func render(w io.Writer, figs []int) error {
+	for _, f := range figs {
+		fn, ok := printers[f]
+		if !ok {
+			return fmt.Errorf("unknown figure %d", f)
+		}
+		if err := fn(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+var printers = map[int]func(io.Writer) error{
 	0:  printSection2,
 	3:  printFig3,
 	4:  printFig4,
@@ -51,58 +68,63 @@ var printers = map[int]func(){
 	15: printHamiltonian,
 }
 
-func printFig10() {
+func printFig10(w io.Writer) error {
 	chain := paper.Figure10()
-	fmt.Printf("Figure 10: Odd-Even turns via %s\n", chain.PlainString())
+	fmt.Fprintf(w, "Figure 10: Odd-Even turns via %s\n", chain.PlainString())
 	for _, row := range paper.Table4Expected() {
-		fmt.Printf("  %-8s %s\n", row.Label, row.Turns90)
+		fmt.Fprintf(w, "  %-8s %s\n", row.Label, row.Turns90)
 	}
-	fmt.Println(verifyLine(topology.NewMesh(8, 8), chain))
+	fmt.Fprintln(w, verifyLine(topology.NewMesh(8, 8), chain))
+	return nil
 }
 
 func verifyLine(net *topology.Network, chain *core.Chain) string {
 	return "  verification: " + cdg.VerifyChain(net, chain).String()
 }
 
-func printFig3() {
+func printFig3(w io.Writer) error {
 	chain := paper.Figure3()
-	fmt.Printf("Figure 3: %s\n", chain.PlainString())
-	fmt.Printf("  90-degree turns: %s\n", core.FormatTurnsPlain(chain.Turns90().Turns()))
-	fmt.Println(verifyLine(topology.NewMesh(8, 8), chain))
+	fmt.Fprintf(w, "Figure 3: %s\n", chain.PlainString())
+	fmt.Fprintf(w, "  90-degree turns: %s\n", core.FormatTurnsPlain(chain.Turns90().Turns()))
+	fmt.Fprintln(w, verifyLine(topology.NewMesh(8, 8), chain))
+	return nil
 }
 
-func printFig4() {
+func printFig4(w io.Writer) error {
 	chain := paper.Figure4()
 	ts := chain.AllTurns()
 	_, nU, nI := ts.Counts()
-	fmt.Printf("Figure 4: %s\n", chain.PlainString())
-	fmt.Printf("  U-turns (%d): %s\n", nU, core.FormatTurns(ts.ByKind(core.UTurn)))
-	fmt.Printf("  I-turns (%d): %s\n", nI, core.FormatTurns(ts.ByKind(core.ITurn)))
+	fmt.Fprintf(w, "Figure 4: %s\n", chain.PlainString())
+	fmt.Fprintf(w, "  U-turns (%d): %s\n", nU, core.FormatTurns(ts.ByKind(core.UTurn)))
+	fmt.Fprintf(w, "  I-turns (%d): %s\n", nI, core.FormatTurns(ts.ByKind(core.ITurn)))
 	u, i, total := core.UITurnCounts(3, 3)
-	fmt.Printf("  formula: n(n-1)/2 = %d = ab (%d) + C(a,2)+C(b,2) (%d)\n", total, u, i)
+	fmt.Fprintf(w, "  formula: n(n-1)/2 = %d = ab (%d) + C(a,2)+C(b,2) (%d)\n", total, u, i)
+	return nil
 }
 
-func printFig5() {
+func printFig5(w io.Writer) error {
 	chain := paper.Figure5()
 	ts := chain.AllTurns()
-	fmt.Printf("Figure 5: %s (North-Last)\n", chain.PlainString())
-	fmt.Printf("  90-degree turns: %s\n", core.FormatTurnsPlain(chain.Turns90().Turns()))
-	fmt.Printf("  U-turns: %s\n", core.FormatTurnsPlain(ts.ByKind(core.UTurn)))
-	fmt.Println(verifyLine(topology.NewMesh(8, 8), chain))
+	fmt.Fprintf(w, "Figure 5: %s (North-Last)\n", chain.PlainString())
+	fmt.Fprintf(w, "  90-degree turns: %s\n", core.FormatTurnsPlain(chain.Turns90().Turns()))
+	fmt.Fprintf(w, "  U-turns: %s\n", core.FormatTurnsPlain(ts.ByKind(core.UTurn)))
+	fmt.Fprintln(w, verifyLine(topology.NewMesh(8, 8), chain))
+	return nil
 }
 
-func printFig6() {
-	fmt.Println("Figure 6: partitioning strategies for four channels")
+func printFig6(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 6: partitioning strategies for four channels")
 	mesh := topology.NewMesh(6, 6)
 	for _, nc := range paper.Figure6() {
-		fmt.Printf("  %-30s %s\n", nc.Name, nc.Chain.PlainString())
-		fmt.Printf("    90-degree turns: %s\n", core.FormatTurnsPlain(nc.Chain.Turns90().Turns()))
-		fmt.Printf("    %s\n", cdg.VerifyChain(mesh, nc.Chain))
+		fmt.Fprintf(w, "  %-30s %s\n", nc.Name, nc.Chain.PlainString())
+		fmt.Fprintf(w, "    90-degree turns: %s\n", core.FormatTurnsPlain(nc.Chain.Turns90().Turns()))
+		fmt.Fprintf(w, "    %s\n", cdg.VerifyChain(mesh, nc.Chain))
 	}
+	return nil
 }
 
-func printFig7() {
-	fmt.Println("Figure 7: fully adaptive 2D designs")
+func printFig7(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 7: fully adaptive 2D designs")
 	mesh := topology.NewMesh(5, 5)
 	for _, tc := range []struct {
 		name  string
@@ -114,43 +136,45 @@ func printFig7() {
 	} {
 		vcs := cdg.VCConfigFor(2, tc.chain.Channels())
 		ad, err := cdg.Adaptiveness(mesh, vcs, tc.chain.AllTurns())
-		fmt.Printf("  %-32s %s\n", tc.name, tc.chain)
+		fmt.Fprintf(w, "  %-32s %s\n", tc.name, tc.chain)
 		if err != nil {
-			fmt.Printf("    adaptiveness: %v\n", err)
+			fmt.Fprintf(w, "    adaptiveness: %v\n", err)
 		} else {
-			fmt.Printf("    %s; fully adaptive: %v\n", ad, ad.FullyAdaptive())
+			fmt.Fprintf(w, "    %s; fully adaptive: %v\n", ad, ad.FullyAdaptive())
 		}
-		fmt.Printf("    %s\n", cdg.VerifyChain(mesh, tc.chain))
+		fmt.Fprintf(w, "    %s\n", cdg.VerifyChain(mesh, tc.chain))
 	}
-	fmt.Printf("  minimum channels for n=2: %d\n", core.MinChannelsFullyAdaptive(2))
+	fmt.Fprintf(w, "  minimum channels for n=2: %d\n", core.MinChannelsFullyAdaptive(2))
+	return nil
 }
 
-func printFig8() {
+func printFig8(w io.Writer) error {
 	chain := paper.Figure8()
-	fmt.Printf("Figure 8: turn extraction for %s\n", chain)
+	fmt.Fprintf(w, "Figure 8: turn extraction for %s\n", chain)
 	for _, b := range paper.Figure8Boxes() {
-		fmt.Printf("  %s\n", b.Label)
+		fmt.Fprintf(w, "  %s\n", b.Label)
 		if b.Turns90 != "" {
-			fmt.Printf("    Turns:   %s\n", b.Turns90)
+			fmt.Fprintf(w, "    Turns:   %s\n", b.Turns90)
 		}
 		if b.UTurns != "" {
-			fmt.Printf("    U-Turns: %s\n", b.UTurns)
+			fmt.Fprintf(w, "    U-Turns: %s\n", b.UTurns)
 		}
 		if b.ITurns != "" {
-			fmt.Printf("    I-Turns: %s\n", b.ITurns)
+			fmt.Fprintf(w, "    I-Turns: %s\n", b.ITurns)
 		}
 		if b.Notes != "" {
-			fmt.Printf("    note: %s\n", b.Notes)
+			fmt.Fprintf(w, "    note: %s\n", b.Notes)
 		}
 	}
 	ts := chain.AllTurns()
 	n90, nU, nI := ts.Counts()
-	fmt.Printf("  totals: %d 90-degree, %d U, %d I\n", n90, nU, nI)
-	fmt.Println(verifyLine(topology.NewMesh(3, 3, 3), chain))
+	fmt.Fprintf(w, "  totals: %d 90-degree, %d U, %d I\n", n90, nU, nI)
+	fmt.Fprintln(w, verifyLine(topology.NewMesh(3, 3, 3), chain))
+	return nil
 }
 
-func printFig9() {
-	fmt.Println("Figure 9: 3D fully adaptive designs")
+func printFig9(w io.Writer) error {
+	fmt.Fprintln(w, "Figure 9: 3D fully adaptive designs")
 	mesh := topology.NewMesh(3, 3, 3)
 	for _, tc := range []struct {
 		name  string
@@ -160,72 +184,75 @@ func printFig9() {
 		{"(b) four partitions, 16 channels (2,2,4 VCs)", paper.Figure9B()},
 		{"(c) four partitions, 16 channels (3,2,3 VCs)", paper.Figure9C()},
 	} {
-		fmt.Printf("  %-46s %s\n", tc.name, tc.chain)
+		fmt.Fprintf(w, "  %-46s %s\n", tc.name, tc.chain)
 		vcs := cdg.VCConfigFor(3, tc.chain.Channels())
 		ad, err := cdg.Adaptiveness(mesh, vcs, tc.chain.AllTurns())
 		if err == nil {
-			fmt.Printf("    %s; fully adaptive: %v\n", ad, ad.FullyAdaptive())
+			fmt.Fprintf(w, "    %s; fully adaptive: %v\n", ad, ad.FullyAdaptive())
 		}
-		fmt.Printf("    %s\n", cdg.VerifyChain(mesh, tc.chain))
+		fmt.Fprintf(w, "    %s\n", cdg.VerifyChain(mesh, tc.chain))
 	}
-	fmt.Printf("  minimum channels for n=3: %d\n", core.MinChannelsFullyAdaptive(3))
+	fmt.Fprintf(w, "  minimum channels for n=3: %d\n", core.MinChannelsFullyAdaptive(3))
+	return nil
 }
 
-func printSection2() {
-	fmt.Println("Section 2: turn-model verification search space")
+func printSection2(w io.Writer) error {
+	fmt.Fprintln(w, "Section 2: turn-model verification search space")
 	for _, c := range paper.Section2Claims() {
-		fmt.Printf("  %-35s %2d abstract cycles -> %s combinations (paper: %s)\n",
+		fmt.Fprintf(w, "  %-35s %2d abstract cycles -> %s combinations (paper: %s)\n",
 			c.Setting, c.Cycles, c.Combos, c.PaperText)
 		if !c.Consistent {
-			fmt.Printf("    note: %s\n", c.Notes)
+			fmt.Fprintf(w, "    note: %s\n", c.Notes)
 		}
 	}
 	rs := paper.TurnModelSearch(topology.NewMesh(4, 4))
 	free, classes := paper.CountDeadlockFree(rs)
-	fmt.Printf("  brute force over all 16 2D removals: %d deadlock-free, %d unique under symmetry\n",
+	fmt.Fprintf(w, "  brute force over all 16 2D removals: %d deadlock-free, %d unique under symmetry\n",
 		free, classes)
 	for _, r := range rs {
 		status := "deadlock-free"
 		if !r.DeadlockFree {
 			status = "CYCLIC"
 		}
-		fmt.Printf("    remove %s (cw) + %s (ccw): %s (class %d)\n",
+		fmt.Fprintf(w, "    remove %s (cw) + %s (ccw): %s (class %d)\n",
 			r.RemovedCW.PlainString(), r.RemovedCCW.PlainString(), status, r.SymmetryClass)
 	}
 	res3 := paper.TurnModelSearch3D(topology.NewMesh(3, 3, 3))
-	fmt.Printf("  3D sweep (beyond the paper): %d combinations, %d deadlock-free, %d classes under cube symmetry\n",
+	fmt.Fprintf(w, "  3D sweep (beyond the paper): %d combinations, %d deadlock-free, %d classes under cube symmetry\n",
 		res3.Combinations, res3.DeadlockFree, res3.Classes)
+	return nil
 }
 
-func printSection5() {
-	fmt.Println("Section 5 worked example: Algorithm 1 on 3,2,3 VCs")
+func printSection5(w io.Writer) error {
+	fmt.Fprintln(w, "Section 5 worked example: Algorithm 1 on 3,2,3 VCs")
 	arr := paper.Section5Arrangement()
 	for _, s := range arr {
-		fmt.Printf("  input %s\n", s)
+		fmt.Fprintf(w, "  input %s\n", s)
 	}
 	chain, err := paper.Section5Run()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("  result: %s\n", chain)
-	fmt.Printf("  paper:  %s\n", paper.Section5Expected)
-	fmt.Println(verifyLine(topology.NewMesh(3, 3, 3), chain))
+	fmt.Fprintf(w, "  result: %s\n", chain)
+	fmt.Fprintf(w, "  paper:  %s\n", paper.Section5Expected)
+	fmt.Fprintln(w, verifyLine(topology.NewMesh(3, 3, 3), chain))
+	return nil
 }
 
-func printHamiltonian() {
+func printHamiltonian(w io.Writer) error {
 	chain := paper.HamiltonianChain()
 	ts := chain.AllTurns()
 	n90, _, _ := ts.Counts()
-	fmt.Printf("Section 6.2: Hamiltonian-path strategy via %s\n", chain.PlainString())
-	fmt.Printf("  90-degree turns (%d): %s\n", n90, core.FormatTurnsPlain(ts.ByKind(core.Turn90)))
+	fmt.Fprintf(w, "Section 6.2: Hamiltonian-path strategy via %s\n", chain.PlainString())
+	fmt.Fprintf(w, "  90-degree turns (%d): %s\n", n90, core.FormatTurnsPlain(ts.ByKind(core.Turn90)))
 	covered := true
 	for _, t := range paper.HamiltonianPathTurns() {
 		if !ts.Allows(t.From, t.To) {
 			covered = false
 		}
 	}
-	fmt.Printf("  covers all 8 dual-Hamiltonian-path turns: %v\n", covered)
+	fmt.Fprintf(w, "  covers all 8 dual-Hamiltonian-path turns: %v\n", covered)
 	rep := cdg.VerifyTurnSet(topology.NewMesh(6, 6), nil, ts)
-	fmt.Printf("  verification: %s\n", rep)
+	fmt.Fprintf(w, "  verification: %s\n", rep)
+	return nil
 }

@@ -1,0 +1,126 @@
+// Command ebda-lint runs the repo's analyzer suite (detlint, locklint,
+// hotpath, verifygate) over the given packages and reports violations of
+// the engine's determinism, concurrency and hot-path invariants.
+//
+// Usage:
+//
+//	ebda-lint [-only list] [patterns...]
+//
+// Patterns are package directories relative to the module root, or the
+// "./..." form to walk a tree; the default is "./...". Diagnostics print
+// as "file:line:col: analyzer: message". Exit status is 0 when clean, 1
+// when any diagnostic fires, and 2 on load or usage errors.
+//
+// Individual findings can be suppressed at the offending line (or the
+// line above it) with a justification:
+//
+//	//ebda:allow detlint bench harness measures wall time by design
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ebda/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, out, errw *os.File) int {
+	fs := flag.NewFlagSet("ebda-lint", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintf(errw, "ebda-lint: %v\n", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(errw, "ebda-lint: %v\n", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(wd)
+	if err != nil {
+		fmt.Fprintf(errw, "ebda-lint: %v\n", err)
+		return 2
+	}
+	dirs, err := lint.Expand(loader.ModRoot(), patterns)
+	if err != nil {
+		fmt.Fprintf(errw, "ebda-lint: %v\n", err)
+		return 2
+	}
+
+	found := false
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintf(errw, "ebda-lint: %s: %v\n", dir, err)
+			return 2
+		}
+		diags, err := lint.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(errw, "ebda-lint: %s: %v\n", dir, err)
+			return 2
+		}
+		for _, d := range diags {
+			found = true
+			fmt.Fprintln(out, d)
+		}
+	}
+	if found {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -only list against the registered suite.
+func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
+	all := lint.All()
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, names(all))
+		}
+		picked = append(picked, a)
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("-only selected no analyzers")
+	}
+	return picked, nil
+}
+
+func names(as []*lint.Analyzer) string {
+	var b strings.Builder
+	for i, a := range as {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Name)
+	}
+	return b.String()
+}

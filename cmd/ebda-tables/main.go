@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"ebda/internal/cdg"
@@ -28,20 +29,33 @@ func main() {
 	if *table != 0 {
 		tables = []int{*table}
 	}
-	for _, n := range tables {
-		switch n {
-		case 1, 2, 3:
-			printChainTable(n)
-		case 4:
-			printTable4()
-		case 5:
-			printTable5()
-		}
-		fmt.Println()
+	if err := render(os.Stdout, tables); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
-func printChainTable(n int) {
+// render writes the requested tables to w. All output flows through w so
+// the emitters are testable — the regression tests render twice and
+// require byte-identical output.
+func render(w io.Writer, tables []int) error {
+	for _, n := range tables {
+		switch n {
+		case 1, 2, 3:
+			if err := renderChainTable(w, n); err != nil {
+				return err
+			}
+		case 4:
+			renderTable4(w)
+		case 5:
+			renderTable5(w)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func renderChainTable(w io.Writer, n int) error {
 	var (
 		chains []*core.Chain
 		title  string
@@ -59,10 +73,9 @@ func printChainTable(n int) {
 		chains, err = paper.Table3()
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Println(title)
+	fmt.Fprintln(w, title)
 	mesh := topology.NewMesh(5, 5)
 	cols := 3
 	if n == 2 {
@@ -74,14 +87,15 @@ func printChainTable(n int) {
 		if !rep.Acyclic {
 			status = "CYCLIC"
 		}
-		fmt.Printf("  %-36s [%s]", arrowOnly(c), status)
+		fmt.Fprintf(w, "  %-36s [%s]", arrowOnly(c), status)
 		if (i+1)%cols == 0 {
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 	}
 	if len(chains)%cols != 0 {
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
+	return nil
 }
 
 // arrowOnly renders a chain without partition names, as the paper's
@@ -99,26 +113,26 @@ func arrowOnly(c *core.Chain) string {
 	return out
 }
 
-func printTable4() {
-	fmt.Println("Table 4: Allowable turns in Odd-Even")
+func renderTable4(w io.Writer) {
+	fmt.Fprintln(w, "Table 4: Allowable turns in Odd-Even")
 	chain := paper.Table4Chain()
-	fmt.Printf("  partitioning: %s\n", chain.PlainString())
+	fmt.Fprintf(w, "  partitioning: %s\n", chain.PlainString())
 	for _, row := range paper.Table4Expected() {
-		fmt.Printf("  %-14s 90-degree: %-22s U/I: %s\n", row.Label, row.Turns90, row.UITurns)
+		fmt.Fprintf(w, "  %-14s 90-degree: %-22s U/I: %s\n", row.Label, row.Turns90, row.UITurns)
 		if row.Notes != "" {
-			fmt.Printf("  %14s note: %s\n", "", row.Notes)
+			fmt.Fprintf(w, "  %14s note: %s\n", "", row.Notes)
 		}
 	}
 	mesh := topology.NewMesh(6, 6)
 	rep := cdg.VerifyChain(mesh, chain)
 	conn := cdg.Connectivity(mesh, nil, chain.AllTurns(), true)
-	fmt.Printf("  verification: %s; %s\n", rep, conn)
+	fmt.Fprintf(w, "  verification: %s; %s\n", rep, conn)
 }
 
-func printTable5() {
-	fmt.Println("Table 5: Allowable turns in the partially connected 3D design")
+func renderTable5(w io.Writer) {
+	fmt.Fprintln(w, "Table 5: Allowable turns in the partially connected 3D design")
 	chain := paper.Table5Chain()
-	fmt.Printf("  partitioning: %s\n", chain)
+	fmt.Fprintf(w, "  partitioning: %s\n", chain)
 	vcs := []int{1, 2, 1}
 	parts := chain.Partitions()
 	rows := paper.Table5Expected()
@@ -127,7 +141,7 @@ func printTable5() {
 		for i, t := range turns {
 			strs[i] = paper.FormatTurnForDesign(t, vcs)
 		}
-		fmt.Printf("  %-14s %s\n", label, joinWords(strs))
+		fmt.Fprintf(w, "  %-14s %s\n", label, joinWords(strs))
 	}
 	printRow(rows[0].Label, parts[0].InnerTurns(false).Turns())
 	printRow(rows[1].Label, parts[1].InnerTurns(false).Turns())
@@ -141,8 +155,8 @@ func printTable5() {
 	net := topology.NewPartialMesh3D(4, 4, 3, [][2]int{{0, 0}, {3, 3}})
 	cfg := cdg.VCConfigFor(3, chain.Channels())
 	rep := cdg.VerifyTurnSet(net, cfg, chain.AllTurns())
-	fmt.Printf("  verification on %s: %s\n", net, rep)
-	fmt.Printf("  baseline Elevator-First turns (16): %s\n", paper.ElevatorFirstTurns)
+	fmt.Fprintf(w, "  verification on %s: %s\n", net, rep)
+	fmt.Fprintf(w, "  baseline Elevator-First turns (16): %s\n", paper.ElevatorFirstTurns)
 }
 
 func joinWords(ws []string) string {

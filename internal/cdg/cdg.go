@@ -188,6 +188,8 @@ func (g *Graph) AddEdge(from, to int) {
 
 // insertSorted places v into its ordered position in row. The common bulk
 // case (v not below the current maximum) is a plain append.
+//
+//ebda:hotpath
 func insertSorted(row []int32, v int32) []int32 {
 	if n := len(row); n == 0 || row[n-1] <= v {
 		return append(row, v)
@@ -205,6 +207,8 @@ func insertSorted(row []int32, v int32) []int32 {
 // tos may be in any order (it is sorted in place when needed). Not safe for
 // concurrent use; the parallel constructors batch per worker and merge into
 // disjoint rows instead.
+//
+//ebda:hotpath
 func (g *Graph) AddEdges(from int, tos ...int32) {
 	if len(tos) == 0 {
 		return
@@ -231,6 +235,8 @@ func sortedInt32(s []int32) bool {
 // entirely above the current maximum, which covers every first fill of a
 // freshly reset row — is a plain append. Otherwise the row grows once and
 // a backwards merge avoids any temporary buffer.
+//
+//ebda:hotpath
 func mergeSorted(row, batch []int32) []int32 {
 	if len(batch) == 0 {
 		return row
@@ -301,6 +307,8 @@ func resolveJobs(jobs, shards int) int {
 // the class's parity dimension (a channel does not move in dimensions
 // other than its own, so head and tail agree there except on its
 // own-dimension wraparound, which parity classes may not reference).
+//
+//ebda:hotpath
 func (g *Graph) matchClassIdx(dst []int32, ch Channel, m *core.AllowMatrix) []int32 {
 	base := int(ch.Link.From) * g.net.Dims()
 	for i, cls := range m.Classes() {
@@ -334,6 +342,8 @@ func (g *Graph) AddTurnEdgesJobs(ts *core.TurnSet, jobs int) int {
 // caller-provided scratch of length NumChannels (entries are reset to
 // length zero and refilled, keeping capacity), so a Workspace can run
 // repeated extractions without reallocating the per-channel match lists.
+//
+//ebda:hotpath
 func (g *Graph) addTurnEdges(ts *core.TurnSet, jobs int, matched [][]int32) int {
 	m := ts.Matrix()
 	nc := len(g.channels)
@@ -720,6 +730,8 @@ func VerifyTurnSet(net *topology.Network, vcs VCConfig, ts *core.TurnSet) Report
 // build runs in a pooled Workspace, so repeated verifications on the same
 // (network, VC configuration) shape reuse the channel table, adjacency
 // rows and acyclicity scratch instead of reallocating them.
+//
+//ebda:hotpath
 func VerifyTurnSetJobs(net *topology.Network, vcs VCConfig, ts *core.TurnSet, jobs int) Report {
 	ws := DefaultPool.Get(net, vcs)
 	rep := ws.VerifyTurnSetJobs(ts, jobs)

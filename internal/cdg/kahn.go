@@ -59,6 +59,8 @@ func (st *acyclicState) ensure(n int) {
 // kahnPeel runs the topological peel and returns the number of channels
 // peeled; the graph is acyclic iff that equals NumChannels. jobs <= 0
 // means all cores. On return st.indeg marks the residual (indeg > 0).
+//
+//ebda:hotpath
 func (g *Graph) kahnPeel(jobs int, st *acyclicState) int {
 	nc := len(g.channels)
 	st.ensure(nc)

@@ -68,6 +68,8 @@ func (ws *Workspace) report(jobs int) Report {
 // VerifyTurnSetJobs resets the workspace, builds the dependency graph of
 // the turn set and checks acyclicity (jobs <= 0 means all cores). The
 // report is bit-identical to the unpooled path for every jobs value.
+//
+//ebda:hotpath
 func (ws *Workspace) VerifyTurnSetJobs(ts *core.TurnSet, jobs int) Report {
 	ws.Reset()
 	if ws.matched == nil {

@@ -265,6 +265,8 @@ type AllowMatrix struct {
 // declared classes is included, matching Allows. The matrix is memoized:
 // repeated calls between mutations return the same immutable snapshot, so
 // hot verification loops pay the dense build once per turn set.
+//
+//ebda:hotpath
 func (s *TurnSet) Matrix() *AllowMatrix {
 	s.mu.Lock()
 	defer s.mu.Unlock()

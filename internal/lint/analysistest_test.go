@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// This file is the suite's analysistest equivalent: golden packages under
+// testdata/ carry `// want "regexp"` comments on the lines where an
+// analyzer must fire, and RunGolden checks the actual diagnostics against
+// them both ways (missing report = failure, unexpected report = failure).
+// Functions and files with no want comments are the must-stay-silent
+// cases.
+
+// sharedLoader caches one loader (and thus one type-checked standard
+// library) across all golden tests in the package.
+var (
+	loaderOnce sync.Once
+	loaderInst *Loader
+	loaderErr  error
+)
+
+func sharedLoader() (*Loader, error) {
+	loaderOnce.Do(func() {
+		loaderInst, loaderErr = NewLoader(".")
+	})
+	return loaderInst, loaderErr
+}
+
+// expectation is one `// want` entry.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// RunGolden loads the package in testdata/<rel>, runs one analyzer, and
+// compares diagnostics against the package's want comments.
+func RunGolden(t *testing.T, rel string, a *Analyzer) {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := l.Load(filepath.Join("testdata", rel))
+	if err != nil {
+		t.Fatalf("load testdata/%s: %v", rel, err)
+	}
+	expects, err := wantComments(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		matched := false
+		for i := range expects {
+			e := &expects[i]
+			if e.hit || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+				continue
+			}
+			if e.re.MatchString(d.Message) {
+				e.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// wantComments extracts every `// want "re" ["re" ...]` expectation of a
+// loaded package.
+func wantComments(pkg *Package) ([]expectation, error) {
+	var out []expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				res, err := parseWantPatterns(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %w", pos.Filename, pos.Line, err)
+				}
+				for _, re := range res {
+					out = append(out, expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseWantPatterns splits a want payload into its quoted regexps. Both
+// interpreted ("...") and raw (`...`) quoting are accepted.
+func parseWantPatterns(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var raw string
+		switch s[0] {
+		case '"':
+			i := 1
+			for i < len(s) && s[i] != '"' {
+				if s[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			if i >= len(s) {
+				return nil, fmt.Errorf("unterminated want pattern %q", s)
+			}
+			unq, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return nil, err
+			}
+			raw = unq
+			s = strings.TrimSpace(s[i+1:])
+		case '`':
+			i := strings.IndexByte(s[1:], '`')
+			if i < 0 {
+				return nil, fmt.Errorf("unterminated want pattern %q", s)
+			}
+			raw = s[1 : i+1]
+			s = strings.TrimSpace(s[i+2:])
+		default:
+			return nil, fmt.Errorf("want pattern must be quoted, got %q", s)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, re)
+	}
+	return out, nil
+}
+
+// loadRepoPackage loads a package of this module by module-root-relative
+// directory (e.g. "internal/cdg").
+func loadRepoPackage(t *testing.T, rel string) *Package {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := l.Load(filepath.Join(l.ModRoot(), rel))
+	if err != nil {
+		t.Fatalf("load %s: %v", rel, err)
+	}
+	return pkg
+}

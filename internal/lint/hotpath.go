@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hotpath reads //ebda:hotpath directive comments on function
+// declarations and flags allocation hazards inside the annotated bodies:
+//
+//   - any fmt call (Sprintf and friends allocate and reflect);
+//   - map or slice composite literals inside loops, and make() inside
+//     loops without a capacity (a fresh backing array per iteration);
+//   - append to a slice that is freshly allocated inside a loop of the
+//     same function — the hoist-the-buffer / pre-size-it rule that keeps
+//     VerifyTurnSet at a handful of allocations per verification;
+//   - boxing of basic values into interface-keyed maps or bare
+//     interface conversions, which allocate per operation.
+//
+// Reusing a buffer via x = x[:0], appending to parameters or
+// workspace-owned scratch, and capacity-hinted make() are all recognised
+// as clean. The directive is the contract: annotate a function and the
+// analyzer keeps future edits allocation-lean.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "flags allocation hazards inside functions annotated //ebda:hotpath",
+	Run:  runHotpath,
+}
+
+func runHotpath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, fd := range funcBodies(f) {
+			if hasDirective(fd.Doc, "hotpath") {
+				hotpathFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func hotpathFunc(pass *Pass, fd *ast.FuncDecl) {
+	loops := collectLoops(fd)
+	inLoop := func(pos ast.Node) bool {
+		for _, l := range loops {
+			if within(pos.Pos(), loopBody(l)) {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			obj := calleeObject(pass.Info, x)
+			if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				pass.Reportf(x.Pos(), "fmt.%s in //ebda:hotpath function %s allocates; format outside the hot path", fn.Name(), fd.Name.Name)
+				return true
+			}
+			if b, ok := obj.(*types.Builtin); ok {
+				switch b.Name() {
+				case "make":
+					if inLoop(x) {
+						hotpathMake(pass, fd, x)
+					}
+				case "append":
+					hotpathAppend(pass, fd, x, loops)
+				}
+				return true
+			}
+			// Bare interface conversions of basic values: T(x) where T is
+			// an interface type.
+			if tv, ok := pass.Info.Types[x.Fun]; ok && tv.IsType() {
+				if _, isIface := tv.Type.Underlying().(*types.Interface); isIface && len(x.Args) == 1 {
+					if at := pass.TypeOf(x.Args[0]); at != nil {
+						if _, basic := at.Underlying().(*types.Basic); basic {
+							pass.Reportf(x.Pos(), "value boxed into interface in //ebda:hotpath function %s; keep hot-path keys concrete", fd.Name.Name)
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if !inLoop(x) {
+				return true
+			}
+			if t := pass.TypeOf(x); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(x.Pos(), "map literal inside a loop of //ebda:hotpath function %s allocates per iteration; hoist it", fd.Name.Name)
+				case *types.Slice:
+					pass.Reportf(x.Pos(), "slice literal inside a loop of //ebda:hotpath function %s allocates per iteration; hoist or pre-size it", fd.Name.Name)
+				}
+			}
+		case *ast.IndexExpr:
+			if mt, ok := typeAsMap(pass.TypeOf(x.X)); ok {
+				if _, isIface := mt.Key().Underlying().(*types.Interface); isIface {
+					if kt := pass.TypeOf(x.Index); kt != nil {
+						if _, basic := kt.Underlying().(*types.Basic); basic {
+							pass.Reportf(x.Index.Pos(), "basic key boxed into interface-keyed map in //ebda:hotpath function %s; use a concrete key type", fd.Name.Name)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// hotpathMake flags in-loop make() calls that allocate per iteration:
+// maps always, slices unless a capacity is given.
+func hotpathMake(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if tv, ok := pass.Info.Types[call.Args[0]]; ok && tv.IsType() {
+		switch tv.Type.Underlying().(type) {
+		case *types.Map:
+			pass.Reportf(call.Pos(), "make(map) inside a loop of //ebda:hotpath function %s allocates per iteration; hoist and clear it", fd.Name.Name)
+		case *types.Slice:
+			if len(call.Args) < 3 {
+				pass.Reportf(call.Pos(), "make without capacity inside a loop of //ebda:hotpath function %s; pre-size the buffer", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// hotpathAppend flags appends whose destination slice is freshly
+// allocated inside a loop of the annotated function — each iteration
+// grows a new backing array from scratch.
+func hotpathAppend(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, loops []ast.Node) {
+	if len(call.Args) == 0 {
+		return
+	}
+	root := rootIdent(call.Args[0])
+	if root == nil {
+		return
+	}
+	obj := pass.Info.ObjectOf(root)
+	if obj == nil {
+		return
+	}
+	declaredInLoop := false
+	for _, l := range loops {
+		if body := loopBody(l); body != nil && within(obj.Pos(), body) {
+			declaredInLoop = true
+			break
+		}
+	}
+	if !declaredInLoop || !within(obj.Pos(), fd) {
+		return
+	}
+	if reusesBuffer(pass, fd, obj) {
+		return
+	}
+	pass.Reportf(call.Pos(), "append to %s, declared fresh inside a loop of //ebda:hotpath function %s; hoist the buffer or make() it with capacity", obj.Name(), fd.Name.Name)
+}
+
+// reusesBuffer reports whether obj's defining statement reuses existing
+// storage (x := y[:0] or a capacity-hinted make) rather than allocating
+// empty.
+func reusesBuffer(pass *Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	reuse := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || pass.Info.Defs[id] != obj || i >= len(as.Rhs) {
+				continue
+			}
+			switch rhs := ast.Unparen(as.Rhs[i]).(type) {
+			case *ast.SliceExpr:
+				reuse = true
+			case *ast.CallExpr:
+				if b, ok := calleeObject(pass.Info, rhs).(*types.Builtin); ok && b.Name() == "make" && len(rhs.Args) >= 3 {
+					reuse = true
+				}
+			}
+		}
+		return true
+	})
+	return reuse
+}
+
+// collectLoops returns every for/range statement node in the function.
+func collectLoops(fd *ast.FuncDecl) []ast.Node {
+	var out []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// typeAsMap unwraps t to a map type if it is one.
+func typeAsMap(t types.Type) (*types.Map, bool) {
+	if t == nil {
+		return nil, false
+	}
+	m, ok := t.Underlying().(*types.Map)
+	return m, ok
+}

@@ -1,0 +1,90 @@
+// Package detdata is detlint's golden file: seeded nondeterminism that
+// must fire, next to the sanctioned idioms that must not.
+package detdata
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// unsortedKeys leaks map order through an accumulated slice.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `never sorted afterwards`
+	}
+	return keys
+}
+
+// printedOrder leaks map order straight to output.
+func printedOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `output written inside iteration over a map`
+	}
+}
+
+// builtOrder leaks map order into a strings.Builder.
+func builtOrder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString fed inside iteration over a map`
+	}
+	return b.String()
+}
+
+// stamped reads the wall clock.
+func stamped() time.Time {
+	return time.Now() // want `wall-clock read`
+}
+
+// elapsed reads the wall clock through Since.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock read`
+}
+
+// rolled uses the unseeded global RNG.
+func rolled() int {
+	return rand.Intn(6) // want `global math/rand RNG`
+}
+
+// allowed demonstrates an //ebda:allow suppression: same construct as
+// stamped, silenced with a justification.
+func allowed() time.Time {
+	return time.Now() //ebda:allow detlint golden-file demonstration of a sanctioned clock read
+}
+
+// sortedKeys is THE sanctioned idiom: accumulate, then sort, then use.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// countsOnly folds map entries commutatively; order cannot leak.
+func countsOnly(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// seeded builds the sanctioned reproducible RNG.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// drawn uses a seeded *rand.Rand: same method names as the global
+// functions, but reproducible — must stay silent.
+func drawn(r *rand.Rand) int {
+	if r.Float64() < 0.5 {
+		return r.Intn(6)
+	}
+	return r.Perm(6)[0]
+}

@@ -1,0 +1,79 @@
+// Package hotdata is hotpath's golden file: allocation hazards inside an
+// annotated function, the same constructs unflagged in an unannotated
+// one, and an annotated function written in the engine's allocation-lean
+// style.
+package hotdata
+
+import "fmt"
+
+// sink keeps results alive without more allocations.
+var sink []string
+
+// labelHazards is annotated and allocates per iteration in four ways.
+//
+//ebda:hotpath
+func labelHazards(n int) {
+	for i := 0; i < n; i++ {
+		s := fmt.Sprintf("ch%d", i) // want `fmt.Sprintf in //ebda:hotpath`
+		sink = append(sink, s)
+		tmp := []int{i} // want `slice literal inside a loop`
+		_ = tmp
+		seen := make(map[int]bool) // want `make\(map\) inside a loop`
+		seen[i] = true
+		buf := make([]byte, 0) // want `make without capacity inside a loop`
+		_ = buf
+	}
+}
+
+// perIterationAppend grows a fresh backing array every iteration.
+//
+//ebda:hotpath
+func perIterationAppend(rows [][]int32) int {
+	total := 0
+	for _, row := range rows {
+		var batch []int32
+		for _, v := range row {
+			batch = append(batch, v) // want `declared fresh inside a loop`
+		}
+		total += len(batch)
+	}
+	return total
+}
+
+// boxedKeys boxes ints into an interface-keyed map.
+//
+//ebda:hotpath
+func boxedKeys(m map[any]int, k int) int {
+	return m[k] // want `basic key boxed into interface-keyed map`
+}
+
+// unannotated repeats labelHazards without the directive: cold paths may
+// allocate freely, so nothing fires.
+func unannotated(n int) {
+	for i := 0; i < n; i++ {
+		sink = append(sink, fmt.Sprintf("ch%d", i))
+		tmp := []int{i}
+		_ = tmp
+	}
+}
+
+// lean is annotated and uses every sanctioned pattern: parameters and
+// reslicing reuse storage, make carries a capacity, appends target
+// hoisted buffers.
+//
+//ebda:hotpath
+func lean(rows [][]int32, scratch []int32) int {
+	out := make([]int32, 0, len(rows))
+	total := 0
+	for _, row := range rows {
+		batch := scratch[:0]
+		for _, v := range row {
+			batch = append(batch, v)
+		}
+		if len(batch) > 0 {
+			out = append(out, batch[0])
+		}
+		total += len(batch)
+	}
+	return total + len(out)
+}

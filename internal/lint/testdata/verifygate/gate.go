@@ -1,0 +1,45 @@
+// Package gatedata is verifygate's golden file: it sits outside
+// ebda/internal/cdg and exercises both the forbidden direct-acyclicity
+// paths and the blessed cached entry points.
+package gatedata
+
+import (
+	"ebda/internal/cdg"
+	"ebda/internal/core"
+	"ebda/internal/topology"
+)
+
+// directAcyclicity rebuilds the verdict the engine already provides.
+func directAcyclicity(net *topology.Network, ts *core.TurnSet) bool {
+	g := cdg.BuildFromTurnSet(net, nil, ts)
+	return g.Acyclic() // want `direct acyclicity call cdg.Graph.Acyclic`
+}
+
+// directCycle extracts a cycle outside the engine.
+func directCycle(net *topology.Network, ts *core.TurnSet) []cdg.Channel {
+	g := cdg.BuildFromTurnSetJobs(net, nil, ts, 1)
+	return g.FindCycleJobs(1) // want `direct acyclicity call cdg.Graph.FindCycleJobs`
+}
+
+// forgedReport fabricates a verdict the engine never produced.
+func forgedReport() cdg.Report {
+	return cdg.Report{Acyclic: true} // want `cdg.Report constructed by hand`
+}
+
+// cachedVerdict is the blessed path: pooled workspaces plus the
+// goroutine-safe verification cache.
+func cachedVerdict(net *topology.Network, ts *core.TurnSet) bool {
+	return cdg.VerifyTurnSetCached(net, nil, ts).Acyclic
+}
+
+// chainVerdict is the chain-level blessed path.
+func chainVerdict(net *topology.Network, chain *core.Chain) bool {
+	return cdg.VerifyChainCached(net, chain).Acyclic
+}
+
+// diagnosticAllowed shows the sanctioned escape hatch for tooling that
+// needs the raw graph.
+func diagnosticAllowed(net *topology.Network, ts *core.TurnSet) []cdg.Channel {
+	g := cdg.BuildFromTurnSet(net, nil, ts)
+	return g.FindCycle() //ebda:allow verifygate golden-file demonstration of a diagnostic use
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// cdgPath is the package whose verification engine verifygate protects.
+const cdgPath = "ebda/internal/cdg"
+
+// Verifygate enforces the domain invariant that verification verdicts
+// have a single source of truth. Outside ebda/internal/cdg itself,
+// packages must obtain cdg.Reports through the blessed entry points —
+// cdg.VerifyTurnSetCached / cdg.VerifyChainCached (and their Jobs
+// variants) or routing.Verify — which share the workspace pool and the
+// goroutine-safe verification cache. Building a Graph and calling
+// acyclicity primitives directly (Acyclic, AcyclicJobs, FindCycle,
+// FindCycleJobs) bypasses both, and hand-assembled cdg.Report literals
+// forge verdicts the engine never produced.
+//
+// Diagnostic tooling that genuinely needs the raw graph (DOT export,
+// topological witnesses) may carry //ebda:allow verifygate with a
+// justification; everything on the result-producing path may not.
+var Verifygate = &Analyzer{
+	Name: "verifygate",
+	Doc:  "restricts acyclicity primitives and Report construction to the cdg engine's blessed entry points",
+	Run:  runVerifygate,
+}
+
+// gatedGraphMethods are the *cdg.Graph acyclicity primitives reserved for
+// the engine.
+var gatedGraphMethods = map[string]bool{
+	"Acyclic": true, "AcyclicJobs": true, "FindCycle": true, "FindCycleJobs": true,
+}
+
+func runVerifygate(pass *Pass) error {
+	if pass.PkgPath == cdgPath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				fn, ok := calleeObject(pass.Info, x).(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != cdgPath {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Recv() == nil {
+					return true
+				}
+				if recvNamed(sig.Recv().Type()) == "Graph" && gatedGraphMethods[fn.Name()] {
+					pass.Reportf(x.Pos(), "direct acyclicity call cdg.Graph.%s outside internal/cdg; obtain verdicts via cdg.VerifyTurnSetCached/VerifyChainCached or routing.Verify (//ebda:allow verifygate for diagnostics)", fn.Name())
+				}
+			case *ast.CompositeLit:
+				if t := pass.TypeOf(x); t != nil && namedPath(t) == cdgPath+".Report" {
+					pass.Reportf(x.Pos(), "cdg.Report constructed by hand outside internal/cdg; reports must come from the verification engine")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// recvNamed returns the name of a method receiver's named type.
+func recvNamed(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// namedPath renders a named type as "pkgpath.Name", or "".
+func namedPath(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
