@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-diff repro fmt vet lint check clean
+.PHONY: all build test race bench bench-json bench-diff repro fmt vet lint obs-smoke check clean
 
 all: check
 
@@ -45,8 +45,15 @@ vet:
 lint: vet
 	$(GO) run ./cmd/ebda-lint ./...
 
-# race is part of check so the worker pools are race-tested routinely.
-check: build lint test race
+# obs-smoke runs the same deterministic verification twice with -obs-json
+# and asserts the dumps parse, carry the required engine series, and are
+# byte-identical after canonicalisation (timing fields zeroed).
+obs-smoke:
+	$(GO) run ./cmd/ebda-obssmoke
+
+# race is part of check so the worker pools are race-tested routinely;
+# obs-smoke keeps the -obs-json determinism contract honest.
+check: build lint test race obs-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,16 +1,20 @@
 // Command ebda-benchdiff compares two BENCH_verify.json perf snapshots
-// (see `make bench-json`) and fails when wall times regress.
+// (see `make bench-json`) and fails when wall times or verify-cache hit
+// rates regress.
 //
 // Experiments are matched by ID and CDG cases by network name; entries
 // present in only one snapshot are reported but never fail the diff. A
-// regression is a wall-time ratio above -threshold (default 1.20, i.e.
+// wall-time regression is a ratio above -threshold (default 1.20, i.e.
 // >20% slower) on an entry whose baseline wall time is at least -minwall
-// seconds — sub-millisecond entries are timer noise, not signal.
+// seconds — sub-millisecond entries are timer noise, not signal. A
+// hit-rate regression is a per-experiment verify-cache hit rate that
+// dropped by more than -hitrate-drop (default 0.10, i.e. 10 percentage
+// points) between snapshots, on experiments with cache traffic in both.
 //
 // Usage:
 //
 //	ebda-benchdiff old.json new.json
-//	ebda-benchdiff -threshold 1.10 -minwall 0.01 old.json new.json
+//	ebda-benchdiff -threshold 1.10 -minwall 0.01 -hitrate-drop 0.05 old.json new.json
 //
 // Exit status: 0 when no regression, 1 on regression, 2 on usage errors.
 package main
@@ -37,6 +41,7 @@ func run(argv []string, out, errw io.Writer) int {
 	fs.SetOutput(errw)
 	threshold := fs.Float64("threshold", 1.20, "fail when new/old wall-time ratio exceeds this")
 	minWall := fs.Float64("minwall", 0.005, "ignore entries whose baseline wall time is below this many seconds")
+	hitRateDrop := fs.Float64("hitrate-drop", 0.10, "fail when a per-experiment cache hit rate drops by more than this fraction")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -66,11 +71,12 @@ func run(argv []string, out, errw io.Writer) int {
 	regressions := 0
 	regressions += diffRows(out, expRows(oldB), expRows(newB), *threshold, *minWall)
 	regressions += diffRows(out, cdgRows(oldB), cdgRows(newB), *threshold, *minWall)
+	regressions += diffHitRates(out, oldB, newB, *hitRateDrop)
 	if regressions > 0 {
-		fmt.Fprintf(out, "\n%d regression(s) beyond %.0f%%\n", regressions, (*threshold-1)*100)
+		fmt.Fprintf(out, "\n%d regression(s)\n", regressions)
 		return 1
 	}
-	fmt.Fprintln(out, "\nno wall-time regressions")
+	fmt.Fprintln(out, "\nno wall-time or cache hit-rate regressions")
 	return 0
 }
 
@@ -130,6 +136,64 @@ func diffRows(w io.Writer, oldRows, newRows []row, threshold, minWall float64) i
 		if _, ok := byName[o.name]; ok {
 			fmt.Fprintf(w, "  %-28s only in old snapshot\n", o.name)
 		}
+	}
+	return regressions
+}
+
+// cacheRow is one experiment's verify-cache traffic.
+type cacheRow struct {
+	name         string
+	hits, misses uint64
+}
+
+func (r cacheRow) rate() float64 {
+	if r.hits+r.misses == 0 {
+		return 0
+	}
+	return float64(r.hits) / float64(r.hits+r.misses)
+}
+
+func cacheRows(b experiments.Bench) []cacheRow {
+	out := make([]cacheRow, 0, len(b.Experiments))
+	for _, e := range b.Experiments {
+		out = append(out, cacheRow{name: e.ID, hits: e.CacheHits, misses: e.CacheMisses})
+	}
+	return out
+}
+
+// diffHitRates compares per-experiment verify-cache hit rates and returns
+// the number of regressions (rate dropped by more than maxDrop). Only
+// experiments with cache traffic in both snapshots are compared — an
+// experiment that stopped issuing cached verifications entirely shows up
+// in the wall-time table, not here.
+func diffHitRates(w io.Writer, oldB, newB experiments.Bench, maxDrop float64) int {
+	byName := make(map[string]cacheRow)
+	for _, r := range cacheRows(oldB) {
+		byName[r.name] = r
+	}
+	regressions := 0
+	printedHeader := false
+	for _, n := range cacheRows(newB) {
+		o, ok := byName[n.name]
+		if !ok || o.hits+o.misses == 0 || n.hits+n.misses == 0 {
+			continue
+		}
+		drop := o.rate() - n.rate()
+		status := "ok"
+		if drop > maxDrop {
+			status = "REGRESSION"
+			regressions++
+		}
+		if !printedHeader {
+			fmt.Fprintln(w, "verify-cache hit rates:")
+			printedHeader = true
+		}
+		fmt.Fprintf(w, "  %-28s %5.1f%% (%d/%d) -> %5.1f%% (%d/%d)  %s\n",
+			n.name, o.rate()*100, o.hits, o.hits+o.misses,
+			n.rate()*100, n.hits, n.hits+n.misses, status)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "  %d hit-rate drop(s) beyond %.0f points\n", regressions, maxDrop*100)
 	}
 	return regressions
 }

@@ -52,7 +52,7 @@ func TestEqualSnapshots(t *testing.T) {
 	if code := run([]string{old, cur}, &out, &errw); code != 0 {
 		t.Fatalf("run = %d, want 0; stderr: %s", code, errw.String())
 	}
-	if !strings.Contains(out.String(), "no wall-time regressions") {
+	if !strings.Contains(out.String(), "no wall-time or cache hit-rate regressions") {
 		t.Errorf("missing clean verdict in output:\n%s", out.String())
 	}
 }
@@ -70,7 +70,7 @@ func TestRegression(t *testing.T) {
 	if !strings.Contains(out.String(), "REGRESSION") {
 		t.Errorf("missing REGRESSION row in output:\n%s", out.String())
 	}
-	if !strings.Contains(out.String(), "1 regression(s) beyond 20%") {
+	if !strings.Contains(out.String(), "1 regression(s)") {
 		t.Errorf("missing regression summary in output:\n%s", out.String())
 	}
 }
@@ -102,6 +102,63 @@ func TestThresholdFlag(t *testing.T) {
 	out.Reset()
 	if code := run([]string{"-threshold", "1.05", old, cur}, &out, &errw); code != 1 {
 		t.Fatalf("-threshold 1.05: run = %d, want 1; output:\n%s", code, out.String())
+	}
+}
+
+// cacheSnapshot builds a Bench fixture whose single experiment carries
+// the given verify-cache traffic (equal wall times, so only the hit-rate
+// diff can fail).
+func cacheSnapshot(hits, misses uint64) experiments.Bench {
+	b := snapshot(1.0, 0.5)
+	b.Experiments[0].CacheHits = hits
+	b.Experiments[0].CacheMisses = misses
+	if hits+misses > 0 {
+		b.Experiments[0].CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	return b
+}
+
+// TestHitRateRegression fails the diff when an experiment's cache hit
+// rate drops past -hitrate-drop, and passes when the drop is within it.
+func TestHitRateRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json", cacheSnapshot(90, 10)) // 90%
+	cur := writeSnapshot(t, dir, "new.json", cacheSnapshot(50, 50)) // 50%
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 1 {
+		t.Fatalf("run = %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "verify-cache hit rates:") ||
+		!strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("missing hit-rate regression row in output:\n%s", out.String())
+	}
+
+	// A 5-point drop stays within the default 10-point budget.
+	out.Reset()
+	cur = writeSnapshot(t, dir, "new2.json", cacheSnapshot(85, 15)) // 85%
+	if code := run([]string{old, cur}, &out, &errw); code != 0 {
+		t.Fatalf("small drop: run = %d, want 0; output:\n%s", code, out.String())
+	}
+
+	// Tightening -hitrate-drop makes the same small drop fail.
+	out.Reset()
+	if code := run([]string{"-hitrate-drop", "0.02", old, cur}, &out, &errw); code != 1 {
+		t.Fatalf("-hitrate-drop 0.02: run = %d, want 1; output:\n%s", code, out.String())
+	}
+}
+
+// TestHitRateSkipsNoTraffic ignores experiments without cache traffic on
+// either side — no traffic means no rate to compare.
+func TestHitRateSkipsNoTraffic(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json", cacheSnapshot(90, 10))
+	cur := writeSnapshot(t, dir, "new.json", cacheSnapshot(0, 0))
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; output:\n%s", code, out.String())
+	}
+	if strings.Contains(out.String(), "verify-cache hit rates:") {
+		t.Errorf("traffic-less experiment compared anyway:\n%s", out.String())
 	}
 }
 

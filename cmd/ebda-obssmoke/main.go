@@ -1,0 +1,127 @@
+// Command ebda-obssmoke is the observability smoke check behind
+// `make obs-smoke`: it builds ebda-verify, runs the same deterministic
+// verification twice with -obs-json, and asserts that (a) both dumps
+// parse as obs snapshots, (b) the required engine series are present with
+// the expected structure, and (c) the two runs are byte-identical once
+// timing-dependent fields are canonicalised — the determinism contract
+// the -obs-json dump advertises.
+//
+// Exit status: 0 on success, 1 on assertion failure, 2 on setup errors.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"ebda/internal/obs"
+)
+
+// verifyArgs is the deterministic workload: -jobs 1 keeps workspace-pool
+// traffic independent of scheduling, and the fixed turn set always
+// verifies acyclic on the fixed mesh.
+var verifyArgs = []string{
+	"-turns", "X+>Y+,X+>Y-,X->Y+,X->Y-",
+	"-mesh", "8x8",
+	"-jobs", "1",
+}
+
+// requiredCounters must appear in every ebda-verify dump; their presence
+// pins the cdg instrumentation end to end.
+var requiredCounters = []string{
+	"ebda_verify_cache_hits_total",
+	"ebda_verify_cache_misses_total",
+	"ebda_cdg_verifies_total",
+	"ebda_cdg_kahn_rounds_total",
+	"ebda_workspace_pool_gets_total",
+	"ebda_workspace_pool_puts_total",
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ebda-obssmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("obs-smoke: ok (snapshots parse, required series present, canonical dumps identical)")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "ebda-obssmoke")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	bin := filepath.Join(dir, "ebda-verify")
+	build := exec.Command("go", "build", "-o", bin, "ebda/cmd/ebda-verify")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		fatal(fmt.Errorf("building ebda-verify: %w", err))
+	}
+
+	snaps := make([]obs.Snapshot, 2)
+	for i := range snaps {
+		out := filepath.Join(dir, fmt.Sprintf("run%d.json", i+1))
+		cmd := exec.Command(bin, append(append([]string(nil), verifyArgs...), "-obs-json", out)...)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			fatal(fmt.Errorf("run %d: %w", i+1, err))
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := obs.ParseSnapshot(data)
+		if err != nil {
+			return fmt.Errorf("run %d: %w", i+1, err)
+		}
+		snaps[i] = s
+	}
+
+	for _, s := range snaps {
+		for _, name := range requiredCounters {
+			found := false
+			for _, c := range s.Counters {
+				if c.Name == name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("required counter %s missing from dump", name)
+			}
+		}
+		if pv, ok := s.Phase("cdg.verify"); !ok || pv.Count != 1 {
+			return fmt.Errorf("phase cdg.verify = %+v, want exactly one span", pv)
+		}
+		if _, ok := s.Histogram(obs.Label("ebda_phase_duration_seconds", "phase", "cdg.verify")); !ok {
+			return fmt.Errorf("per-phase duration histogram missing from dump")
+		}
+		if got := s.Counter("ebda_cdg_verifies_total"); got != 1 {
+			return fmt.Errorf("ebda_cdg_verifies_total = %d, want 1", got)
+		}
+		if got := s.Counter("ebda_verify_cache_misses_total"); got != 1 {
+			return fmt.Errorf("ebda_verify_cache_misses_total = %d, want 1 (fresh process)", got)
+		}
+	}
+
+	var a, b bytes.Buffer
+	if err := snaps[0].Canonical().WriteJSON(&a); err != nil {
+		fatal(err)
+	}
+	if err := snaps[1].Canonical().WriteJSON(&b); err != nil {
+		fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		return fmt.Errorf("canonical snapshots differ between identical runs:\n--- run 1\n%s\n--- run 2\n%s", a.String(), b.String())
+	}
+	return nil
+}
+
+// fatal reports a setup problem (not an assertion failure) and exits 2.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ebda-obssmoke: setup:", err)
+	os.Exit(2)
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	ebda-repro [-quick] [-details] [-markdown|-json] [-only E06] [-jobs N] [-benchjson FILE]
+//	ebda-repro -quick -obs :8080 -obs-json run.json -cachestats
 package main
 
 import (
@@ -15,8 +16,9 @@ import (
 	"os"
 	"strings"
 
-	"ebda/internal/cdg"
 	"ebda/internal/experiments"
+	"ebda/internal/obs"
+	"ebda/internal/obs/obshttp"
 )
 
 func main() {
@@ -27,8 +29,19 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit results as a JSON array")
 	jobs := flag.Int("jobs", 0, "worker pool size for running experiments (0 = all cores)")
 	benchJSON := flag.String("benchjson", "", "write a perf snapshot (wall time per experiment, CDG channels/sec) to this file, e.g. BENCH_verify.json")
-	cacheStats := flag.Bool("cachestats", false, "print verification-cache hit/miss statistics after the run")
+	cacheStats := flag.Bool("cachestats", false, "print this run's verification-cache counter deltas after the run")
+	obsAddr := flag.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
+	obsJSON := flag.String("obs-json", "", "write the end-of-run metrics snapshot (JSON) to this file")
 	flag.Parse()
+
+	finishObs, err := obshttp.Setup(*obsAddr, *obsJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// Snapshot before the run so -cachestats reports this invocation's
+	// traffic alone, not process-lifetime totals.
+	obsBefore := obs.Default.Snapshot()
 
 	opts := experiments.Options{Quick: *quick}
 
@@ -38,6 +51,10 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("wrote %s\n", *benchJSON)
+		if err := finishObs(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		return
 	}
 
@@ -96,6 +113,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+		if err := finishObs(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		if failures > 0 {
 			os.Exit(1)
 		}
@@ -103,20 +124,34 @@ func main() {
 	}
 	fmt.Printf("\n%d experiments, %d mismatches\n", len(results), failures)
 	if *cacheStats {
-		printCacheStats()
+		printCacheStats(obsBefore)
+	}
+	if err := finishObs(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	if failures > 0 {
 		os.Exit(1)
 	}
 }
 
-// printCacheStats reports the verification cache's effectiveness over the
-// run: repeated turn-set verifications on identical network shapes are
-// served from memory.
-func printCacheStats() {
-	s := cdg.DefaultCache.Stats()
-	fmt.Printf("verify cache: %d hits, %d misses (%.1f%% hit rate), %d entries\n",
-		s.Hits, s.Misses, 100*s.HitRate(), s.Entries)
+// printCacheStats reports the verification cache's effectiveness over
+// this run alone — counter deltas against the pre-run snapshot, rendered
+// through the shared snapshot renderer — so repeated or long-lived
+// invocations do not accumulate stale process-lifetime totals.
+func printCacheStats(before obs.Snapshot) {
+	delta := obs.Default.Snapshot().Sub(before).Filter("ebda_verify_cache")
+	fmt.Println("verify cache (this run):")
+	if err := delta.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	hits := delta.Counter("ebda_verify_cache_hits_total")
+	misses := delta.Counter("ebda_verify_cache_misses_total")
+	if hits+misses > 0 {
+		fmt.Printf("  hit rate: %.1f%% (%d/%d)\n",
+			float64(hits)/float64(hits+misses)*100, hits, hits+misses)
+	}
 }
 
 // writeBench runs the perf harness and writes the JSON snapshot.

@@ -7,6 +7,7 @@
 //	ebda-sim -mesh 8x8 -algs xy,dyxy,duato -rates 0.05:0.40:0.05
 //	ebda-sim -mesh 6x6 -algs odd-even -pattern transpose -packet 8
 //	ebda-sim -mesh 8x8 -algs unrestricted -rates 0.4:0.6:0.1   (deadlocks)
+//	ebda-sim -mesh 8x8 -algs dyxy -seeds 8 -obs :8080        (live /metrics)
 package main
 
 import (
@@ -16,8 +17,14 @@ import (
 	"strconv"
 	"strings"
 
+	// Linked for its metric registrations: a live -obs endpoint shows the
+	// whole engine's series (verify cache, workspace pool, phases) even
+	// though a pure sweep only drives the simulator.
+	_ "ebda/internal/cdg"
+
 	"ebda/internal/core"
 	"ebda/internal/duato"
+	"ebda/internal/obs/obshttp"
 	"ebda/internal/routing"
 	"ebda/internal/sim"
 	"ebda/internal/topology"
@@ -38,7 +45,14 @@ func main() {
 	warm := flag.Int("warmup", 1000, "warmup cycles")
 	meas := flag.Int("measure", 4000, "measurement cycles")
 	drain := flag.Int("drain", 2000, "drain cycles")
+	obsAddr := flag.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
+	obsJSON := flag.String("obs-json", "", "write the end-of-run metrics snapshot (JSON) to this file")
 	flag.Parse()
+
+	finishObs, err := obshttp.Setup(*obsAddr, *obsJSON)
+	if err != nil {
+		fatal(err)
+	}
 
 	sizes, err := parseSizes(*meshSpec)
 	if err != nil {
@@ -113,6 +127,9 @@ func main() {
 			fmt.Printf("%-16s %-6.3f %10.1f %10d %12.4f %s\n",
 				alg.Name(), rate, res.AvgLatency, res.P99Latency, res.Throughput, status)
 		}
+	}
+	if err := finishObs(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -9,6 +9,7 @@
 //	ebda-verify -chain "PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]" -mesh 8x8 -adaptiveness
 //	ebda-verify -chain "PA[X+ Y+] -> PB[X- Y-]" -torus 6x6
 //	ebda-verify -turns "X+>Y+,X+>Y-,X->Y+,X->Y-" -mesh 8x8
+//	ebda-verify -chain "..." -obs :8080 -obs-json run.json -cachestats
 package main
 
 import (
@@ -21,6 +22,8 @@ import (
 
 	"ebda/internal/cdg"
 	"ebda/internal/core"
+	"ebda/internal/obs"
+	"ebda/internal/obs/obshttp"
 	"ebda/internal/topology"
 )
 
@@ -36,7 +39,18 @@ func main() {
 	dot := flag.String("dot", "", "write the dependency graph in Graphviz format to this file")
 	witness := flag.Bool("witness", false, "print the topological channel numbering (the deadlock-freedom witness)")
 	jobs := flag.Int("jobs", 0, "worker pool size for graph construction (0 = all cores)")
+	obsAddr := flag.String("obs", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
+	obsJSON := flag.String("obs-json", "", "write the end-of-run metrics snapshot (JSON) to this file")
+	cacheStats := flag.Bool("cachestats", false, "print this run's verify-cache counter deltas on exit")
 	flag.Parse()
+
+	finishObs, err := obshttp.Setup(*obsAddr, *obsJSON)
+	if err != nil {
+		fatal(err)
+	}
+	// Snapshot before the run so -cachestats reports this invocation's
+	// traffic alone, not process-lifetime totals.
+	obsBefore := obs.Default.Snapshot()
 
 	net, err := buildNet(*meshSpec, *torusSpec)
 	if err != nil {
@@ -133,8 +147,30 @@ func main() {
 		}
 		fmt.Printf("%s\n", ad)
 	}
+	if *cacheStats {
+		printCacheDelta(obsBefore)
+	}
+	if err := finishObs(); err != nil {
+		fatal(err)
+	}
 	if !ok {
 		os.Exit(1)
+	}
+}
+
+// printCacheDelta renders the verify-cache series recorded since before,
+// through the shared snapshot renderer, plus the derived hit rate.
+func printCacheDelta(before obs.Snapshot) {
+	delta := obs.Default.Snapshot().Sub(before).Filter("ebda_verify_cache")
+	fmt.Println("verify cache (this run):")
+	if err := delta.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+	hits := delta.Counter("ebda_verify_cache_hits_total")
+	misses := delta.Counter("ebda_verify_cache_misses_total")
+	if hits+misses > 0 {
+		fmt.Printf("  hit rate: %.1f%% (%d/%d)\n",
+			float64(hits)/float64(hits+misses)*100, hits, hits+misses)
 	}
 }
 

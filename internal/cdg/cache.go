@@ -27,8 +27,9 @@ type VerifyCache struct {
 	mu sync.RWMutex
 	m  map[uint64]cacheEntry
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -38,8 +39,9 @@ type cacheEntry struct {
 
 // maxCacheEntries bounds memory: past it the map is flushed wholesale (an
 // epoch flush — correctness never depends on cache contents). The
-// repository's full sweep population is a few thousand entries.
-const maxCacheEntries = 1 << 15
+// repository's full sweep population is a few thousand entries. It is a
+// variable only so tests can lower it to exercise the eviction path.
+var maxCacheEntries = 1 << 15
 
 // DefaultCache is the process-wide verification cache behind
 // VerifyTurnSetCached and VerifyChainCached.
@@ -47,9 +49,10 @@ var DefaultCache = &VerifyCache{}
 
 // CacheStats is a snapshot of cache effectiveness.
 type CacheStats struct {
-	Hits    uint64 `json:"hits"`
-	Misses  uint64 `json:"misses"`
-	Entries int    `json:"entries"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
 }
 
 // HitRate returns hits / (hits + misses), or 0 when empty.
@@ -61,21 +64,31 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// Stats returns current hit/miss counters and the live entry count.
+// Stats returns current hit/miss/eviction counters and the live entry
+// count.
 func (c *VerifyCache) Stats() CacheStats {
 	c.mu.RLock()
 	n := len(c.m)
 	c.mu.RUnlock()
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   n,
+	}
 }
 
-// Reset clears all entries and counters.
+// Reset clears all entries and counters. Entries dropped here are not
+// counted as evictions: Reset marks an intentional epoch boundary (the
+// bench harness isolates experiments with it), not capacity pressure.
 func (c *VerifyCache) Reset() {
 	c.mu.Lock()
 	c.m = nil
 	c.mu.Unlock()
 	c.hits.Store(0)
 	c.misses.Store(0)
+	c.evictions.Store(0)
+	obsCacheEntries.Set(0)
 }
 
 // verifyKey derives the cache key and its independent check hash. The
@@ -150,15 +163,22 @@ func (c *VerifyCache) VerifyTurnSetJobs(net *topology.Network, vcs VCConfig, ts 
 	c.mu.RUnlock()
 	if ok && e.check == check {
 		c.hits.Add(1)
+		obsCacheHits.Inc()
 		return e.rep
 	}
 	c.misses.Add(1)
+	obsCacheMisses.Inc()
 	rep := VerifyTurnSetJobs(net, vcs, ts, jobs)
 	c.mu.Lock()
 	if c.m == nil || len(c.m) >= maxCacheEntries {
+		if n := len(c.m); n > 0 {
+			c.evictions.Add(uint64(n))
+			obsCacheEvictions.Add(uint64(n))
+		}
 		c.m = make(map[uint64]cacheEntry)
 	}
 	c.m[key] = cacheEntry{check: check, rep: rep}
+	obsCacheEntries.Set(int64(len(c.m)))
 	c.mu.Unlock()
 	return rep
 }

@@ -173,3 +173,33 @@ func TestCacheConcurrent(t *testing.T) {
 		t.Errorf("stats = %+v, want %d total probes", s, 8*20)
 	}
 }
+
+func TestCacheEvictionCounting(t *testing.T) {
+	// Lower the epoch-flush bound to force evictions; cdg tests run
+	// sequentially within the package, so restoring it is safe.
+	old := maxCacheEntries
+	maxCacheEntries = 2
+	defer func() { maxCacheEntries = old }()
+
+	c := &VerifyCache{}
+	nets := []*topology.Network{
+		topology.NewMesh(4, 4),
+		topology.NewMesh(3, 5),
+		topology.NewMesh(5, 5),
+	}
+	for _, net := range nets {
+		c.VerifyTurnSetJobs(net, nil, xyTurnSet(), 1)
+	}
+	s := c.Stats()
+	if s.Misses != 3 || s.Evictions != 2 {
+		t.Fatalf("stats = %+v, want 3 misses and 2 evictions (epoch flush at 2 entries)", s)
+	}
+	if s.Entries != 1 {
+		t.Fatalf("entries = %d, want 1 after the flush", s.Entries)
+	}
+	// Reset is an intentional epoch boundary, not capacity pressure.
+	c.Reset()
+	if s := c.Stats(); s.Evictions != 0 || s.Entries != 0 {
+		t.Fatalf("stats after reset = %+v, want zeroed", s)
+	}
+}

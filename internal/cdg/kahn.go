@@ -93,6 +93,7 @@ func (g *Graph) kahnPeel(jobs int, st *acyclicState) int {
 		}
 	}
 	peeled := len(frontier)
+	rounds := uint64(0)
 	if cap(st.next) < workers {
 		st.next = append(st.next[:cap(st.next)], make([][]int32, workers-cap(st.next))...)
 	}
@@ -102,6 +103,7 @@ func (g *Graph) kahnPeel(jobs int, st *acyclicState) int {
 	// decrement returns the new value, so exactly one worker sees zero and
 	// discovery buffers stay duplicate-free.
 	for len(frontier) > 0 {
+		rounds++
 		w := resolveJobs(workers, len(frontier))
 		out := st.swap[:0]
 		if w <= 1 {
@@ -132,6 +134,7 @@ func (g *Graph) kahnPeel(jobs int, st *acyclicState) int {
 		peeled += len(frontier)
 	}
 	st.frontier = frontier
+	obsKahnRounds.Add(rounds)
 	return peeled
 }
 

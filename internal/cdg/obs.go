@@ -1,0 +1,41 @@
+package cdg
+
+import "ebda/internal/obs"
+
+// Engine instrumentation: every series the verification pipeline records,
+// hoisted to package variables so hot paths never touch the registry.
+// Counters mirror the invariants DESIGN.md §7 documents — e.g. pool gets
+// equal puts after every verification, cache hits+misses equal verify
+// calls through the cached entry points.
+var (
+	obsVerifies = obs.NewCounter("ebda_cdg_verifies_total",
+		"turn-set and relation verifications run through pooled workspaces")
+	obsVerifyCyclic = obs.NewCounter("ebda_cdg_verify_cyclic_total",
+		"verifications whose dependency graph contained a cycle")
+	obsKahnRounds = obs.NewCounter("ebda_cdg_kahn_rounds_total",
+		"frontier rounds executed by the Kahn topological peel")
+	obsResidualDFS = obs.NewCounter("ebda_cdg_residual_dfs_total",
+		"residual cycle-extraction DFS runs (one per cyclic verification)")
+
+	obsCacheHits = obs.NewCounter("ebda_verify_cache_hits_total",
+		"verify cache probes answered from a memoized report")
+	obsCacheMisses = obs.NewCounter("ebda_verify_cache_misses_total",
+		"verify cache probes that recomputed the report")
+	obsCacheEvictions = obs.NewCounter("ebda_verify_cache_evictions_total",
+		"entries dropped by verify cache epoch flushes")
+	obsCacheEntries = obs.NewGauge("ebda_verify_cache_entries",
+		"live entries in the default verify cache")
+
+	obsPoolGets = obs.NewCounter("ebda_workspace_pool_gets_total",
+		"workspace pool checkouts")
+	obsPoolReuses = obs.NewCounter("ebda_workspace_pool_reuses_total",
+		"workspace pool checkouts satisfied from the free list")
+	obsPoolPuts = obs.NewCounter("ebda_workspace_pool_puts_total",
+		"workspaces returned to the pool")
+	obsPoolFlushes = obs.NewCounter("ebda_workspace_pool_flushes_total",
+		"workspace pool epoch flushes (distinct-shape bound exceeded)")
+
+	phaseVerify = obs.NewPhase("cdg.verify", "")
+	phaseEdges  = obs.NewPhase("cdg.addTurnEdges", "cdg.verify")
+	phaseAcycl  = obs.NewPhase("cdg.acyclicity", "cdg.verify")
+)

@@ -53,8 +53,15 @@ func (ws *Workspace) Reset() {
 func (ws *Workspace) report(jobs int) Report {
 	g := ws.g
 	var cyc []Channel
+	sp := phaseAcycl.Start()
 	if g.kahnPeel(jobs, &ws.st) != len(g.channels) {
+		obsResidualDFS.Inc()
 		cyc = g.findCycleResidual(&ws.st)
+	}
+	sp.End()
+	obsVerifies.Inc()
+	if cyc != nil {
+		obsVerifyCyclic.Inc()
 	}
 	return Report{
 		Network:  g.net.String(),
@@ -71,12 +78,17 @@ func (ws *Workspace) report(jobs int) Report {
 //
 //ebda:hotpath
 func (ws *Workspace) VerifyTurnSetJobs(ts *core.TurnSet, jobs int) Report {
+	sp := phaseVerify.Start()
 	ws.Reset()
 	if ws.matched == nil {
 		ws.matched = make([][]int32, len(ws.g.channels))
 	}
+	esp := phaseEdges.Start()
 	ws.g.addTurnEdges(ts, jobs, ws.matched)
-	return ws.report(jobs)
+	esp.End()
+	rep := ws.report(jobs)
+	sp.End()
+	return rep
 }
 
 // VerifyRelationJobs resets the workspace, builds the dependency graph of
@@ -132,6 +144,7 @@ var DefaultPool = &WorkspacePool{}
 // Get returns a workspace for the shape, reusing a pooled one when
 // available.
 func (p *WorkspacePool) Get(net *topology.Network, vcs VCConfig) *Workspace {
+	obsPoolGets.Inc()
 	key := poolKey{net, canonicalVCs(net, vcs)}
 	p.mu.Lock()
 	if list := p.free[key]; len(list) > 0 {
@@ -139,6 +152,7 @@ func (p *WorkspacePool) Get(net *topology.Network, vcs VCConfig) *Workspace {
 		list[len(list)-1] = nil
 		p.free[key] = list[:len(list)-1]
 		p.mu.Unlock()
+		obsPoolReuses.Inc()
 		return ws
 	}
 	p.mu.Unlock()
@@ -148,6 +162,7 @@ func (p *WorkspacePool) Get(net *topology.Network, vcs VCConfig) *Workspace {
 // Put returns a workspace to the pool. The caller must not use it (or any
 // Graph obtained from it) afterwards.
 func (p *WorkspacePool) Put(ws *Workspace) {
+	obsPoolPuts.Inc()
 	key := poolKey{ws.g.net, canonicalVCs(ws.g.net, ws.g.vcs)}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -155,6 +170,7 @@ func (p *WorkspacePool) Put(ws *Workspace) {
 		p.free = make(map[poolKey][]*Workspace)
 	}
 	if _, ok := p.free[key]; !ok && len(p.free) >= maxPoolKeys {
+		obsPoolFlushes.Inc()
 		p.free = make(map[poolKey][]*Workspace)
 	}
 	if list := p.free[key]; len(list) < runtime.GOMAXPROCS(0) {

@@ -21,6 +21,9 @@ type BenchExperiment struct {
 	Match       bool    `json:"match"`
 	CacheHits   uint64  `json:"cache_hits"`
 	CacheMisses uint64  `json:"cache_misses"`
+	// CacheHitRate is hits/(hits+misses) over this experiment alone (0
+	// when it generated no cache traffic).
+	CacheHitRate float64 `json:"cache_hit_rate"`
 }
 
 // BenchCDG records the construction rate of one channel dependency graph:
@@ -42,10 +45,11 @@ type BenchCDG struct {
 
 // BenchCache summarises the verification cache over the whole snapshot run.
 type BenchCache struct {
-	Hits    uint64  `json:"hits"`
-	Misses  uint64  `json:"misses"`
-	Entries int     `json:"entries"`
-	HitRate float64 `json:"hit_rate"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	Entries   int     `json:"entries"`
+	HitRate   float64 `json:"hit_rate"`
 }
 
 // Bench is the perf snapshot written by `ebda-repro -benchjson` (the
@@ -96,12 +100,18 @@ func RunBench(opts Options, jobs int) Bench {
 		res := r.Run(opts)
 		wall := time.Since(start).Seconds() //ebda:allow detlint bench harness measures wall time by design
 		cur := cdg.DefaultCache.Stats()
+		hits, misses := cur.Hits-prev.Hits, cur.Misses-prev.Misses
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = float64(hits) / float64(hits+misses)
+		}
 		b.Experiments = append(b.Experiments, BenchExperiment{
 			ID: r.ID, Name: r.Name,
-			WallSeconds: wall,
-			Match:       res.Match,
-			CacheHits:   cur.Hits - prev.Hits,
-			CacheMisses: cur.Misses - prev.Misses,
+			WallSeconds:  wall,
+			Match:        res.Match,
+			CacheHits:    hits,
+			CacheMisses:  misses,
+			CacheHitRate: rate,
 		})
 		prev = cur
 	}
@@ -138,8 +148,8 @@ func RunBench(opts Options, jobs int) Bench {
 	}
 	s := cdg.DefaultCache.Stats()
 	b.VerifyCache = BenchCache{
-		Hits: s.Hits, Misses: s.Misses, Entries: s.Entries,
-		HitRate: s.HitRate(),
+		Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions,
+		Entries: s.Entries, HitRate: s.HitRate(),
 	}
 	return b
 }

@@ -121,9 +121,11 @@ func RunRunnersJobs(runners []Runner, opts Options, jobs int) []Result {
 		out[i] = res
 	}
 	if jobs <= 1 {
+		sp := phaseRunners.Start()
 		for i := range runners {
 			run(i)
 		}
+		sp.End()
 		return out
 	}
 	var wg sync.WaitGroup
@@ -131,9 +133,11 @@ func RunRunnersJobs(runners []Runner, opts Options, jobs int) []Result {
 	for w := 0; w < jobs; w++ {
 		go func(w int) {
 			defer wg.Done()
+			sp := phaseRunners.StartWorker(w)
 			for i := w; i < len(runners); i += jobs {
 				run(i)
 			}
+			sp.End()
 		}(w)
 	}
 	wg.Wait()
@@ -350,6 +354,7 @@ func tableResult(n int) Result {
 	for i, c := range chains {
 		got := c.PlainString()
 		rep := cdg.VerifyChainCached(mesh, c)
+		obsTableVerifies[n].Inc()
 		ok := i < len(expected) && got == expected[i] && rep.Acyclic
 		match = match && ok
 		details = append(details, fmt.Sprintf("%-34s acyclic=%v", got, rep.Acyclic))

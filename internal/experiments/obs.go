@@ -1,0 +1,20 @@
+package experiments
+
+import "ebda/internal/obs"
+
+// Harness instrumentation: how many chain verifications each paper table
+// contributed (labeled per table so /metrics shows the sweep shape) and a
+// phase covering the experiment runners, attributed per worker.
+var (
+	obsTableVerifies = [4]*obs.Counter{
+		nil, // tables are 1-indexed
+		obs.NewCounter(obs.Label("ebda_experiments_table_verifies_total", "table", "1"),
+			"chain verifications per paper table"),
+		obs.NewCounter(obs.Label("ebda_experiments_table_verifies_total", "table", "2"),
+			"chain verifications per paper table"),
+		obs.NewCounter(obs.Label("ebda_experiments_table_verifies_total", "table", "3"),
+			"chain verifications per paper table"),
+	}
+
+	phaseRunners = obs.NewPhase("experiments.run", "")
+)

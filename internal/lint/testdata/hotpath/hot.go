@@ -4,10 +4,21 @@
 // style.
 package hotdata
 
-import "fmt"
+import (
+	"fmt"
+
+	"ebda/internal/obs"
+)
 
 // sink keeps results alive without more allocations.
 var sink []string
+
+// Package-level metrics: construction happens once at init, so only the
+// record calls appear inside annotated functions.
+var (
+	obsOps   = obs.NewCounter("hotdata_ops_total", "operations recorded by the golden file")
+	obsPhase = obs.NewPhase("hotdata.instrumented", "")
+)
 
 // labelHazards is annotated and allocates per iteration in four ways.
 //
@@ -61,6 +72,22 @@ func unannotated(n int) {
 // reslicing reuse storage, make carries a capacity, appends target
 // hoisted buffers.
 //
+// instrumented shows that obs record calls are hot-path safe: counter
+// adds are single atomics and spans are value types, so an annotated
+// function may meter itself without tripping the analyzer.
+//
+//ebda:hotpath
+func instrumented(rows [][]int32) int {
+	sp := obsPhase.Start()
+	total := 0
+	for _, row := range rows {
+		obsOps.Add(uint64(len(row)))
+		total += len(row)
+	}
+	sp.End()
+	return total
+}
+
 //ebda:hotpath
 func lean(rows [][]int32, scratch []int32) int {
 	out := make([]int32, 0, len(rows))

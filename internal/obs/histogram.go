@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// DurationBuckets are the default bucket upper bounds for wall-duration
+// histograms, in seconds: decades from one microsecond to ten seconds.
+// The engine's spans range from sub-microsecond counter bumps to
+// multi-second experiment sweeps, so decades keep the table small while
+// still separating "cache hit" from "full rebuild".
+var DurationBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+
+// Histogram is a fixed-bucket histogram with atomic bucket counts and an
+// atomically maintained float64 sum. Observe is lock-free and allocates
+// nothing; bounds are immutable after construction.
+type Histogram struct {
+	// bounds are the ascending bucket upper bounds; counts has one extra
+	// slot for the implicit +Inf bucket. Both are fixed at construction,
+	// so concurrent Observe calls only touch atomics.
+	bounds  []float64
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// newHistogram builds a histogram over the given upper bounds (copied).
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	return &Histogram{
+		bounds: b,
+		counts: make([]atomic.Uint64, len(b)+1),
+	}
+}
+
+// Observe records one value: the first bucket whose upper bound is >= v
+// (or the +Inf bucket), the total count, and the running sum via a
+// compare-and-swap loop over the float64 bit pattern.
+//
+//ebda:hotpath
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }

@@ -1,0 +1,206 @@
+// Package obs is the engine's observability layer: lock-free counters,
+// gauges and fixed-bucket histograms in a deterministic registry, plus
+// span-style phase tracing that aggregates into a phase table. The record
+// path — Counter.Add, Gauge.Set, Histogram.Observe, Phase.Start/Span.End —
+// is a handful of atomic operations and allocates nothing, so it is cheap
+// enough to live inside //ebda:hotpath functions; the hotpath analyzer and
+// an allocs-per-op test pin that property.
+//
+// Exposition is pull-based: Registry.Snapshot renders the whole registry
+// into a sorted, JSON-serialisable value, Sub turns two snapshots into a
+// per-run delta, Canonical zeroes the timing-dependent fields so two runs
+// of a deterministic workload compare byte-identical, and WritePrometheus
+// renders the Prometheus text format (the obshttp subpackage serves it
+// over HTTP together with /debug/vars and net/http/pprof).
+//
+// Series names follow Prometheus conventions (ebda_*_total for counters).
+// A single label is supported by baking it into the registry key via
+// Label; labeled series are hoisted to package variables at init so the
+// hot path never formats a name.
+package obs
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use, but counters should be obtained from a Registry so they appear
+// in snapshots.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+//
+//ebda:hotpath
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+//
+//ebda:hotpath
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous signed value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+//
+//ebda:hotpath
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta (negative deltas decrease it).
+//
+//ebda:hotpath
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry is a deterministic collection of named metrics. Lookups are
+// get-or-create and goroutine-safe; snapshots render every series sorted
+// by name, so identical workloads produce identical output regardless of
+// registration or scheduling order.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	phases     map[string]*Phase
+	// help maps a series' base name (the part before any label) to its
+	// HELP text; the first non-empty registration wins.
+	help map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		phases:     map[string]*Phase{},
+		help:       map[string]string{},
+	}
+}
+
+// Default is the process-wide registry behind the package-level
+// constructors; the engine's instrumentation and every command's
+// -obs/-obs-json flags share it.
+var Default = NewRegistry()
+
+// Label renders a single-label series name, e.g.
+//
+//	Label("ebda_sim_diagnose_total", "outcome", "cycle")
+//
+// returns `ebda_sim_diagnose_total{outcome="cycle"}`. The full string is
+// the registry key; hoist labeled series to package variables so the
+// record path never formats names.
+func Label(name, key, value string) string {
+	return name + "{" + key + `="` + value + `"}`
+}
+
+// baseName strips the label part of a series name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Counter returns the named counter, creating and registering it on first
+// use. help documents the series (rendered as # HELP); later calls may
+// pass "".
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	if base := baseName(name); help != "" && r.help[base] == "" {
+		r.help[base] = help
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating and registering it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	if base := baseName(name); help != "" && r.help[base] == "" {
+		r.help[base] = help
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds (ascending; a +Inf bucket is implicit) on first
+// use. Bounds are ignored when the histogram already exists.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	h := newHistogram(bounds)
+	r.histograms[name] = h
+	if base := baseName(name); help != "" && r.help[base] == "" {
+		r.help[base] = help
+	}
+	return h
+}
+
+// phaseHistName is the shared histogram family every phase's span
+// durations feed, labeled by phase name.
+const phaseHistName = "ebda_phase_duration_seconds"
+
+// Phase returns the named phase, creating and registering it on first
+// use. parent names the enclosing phase ("" for a root); it is reported
+// in snapshots so the phase table reads as a tree. Each phase also
+// registers an ebda_phase_duration_seconds{phase="name"} histogram fed by
+// its spans.
+func (r *Registry) Phase(name, parent string) *Phase {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.phases[name]; ok {
+		return p
+	}
+	hname := Label(phaseHistName, "phase", name)
+	h, ok := r.histograms[hname]
+	if !ok {
+		h = newHistogram(DurationBuckets)
+		r.histograms[hname] = h
+		if r.help[phaseHistName] == "" {
+			r.help[phaseHistName] = "span wall durations per phase"
+		}
+	}
+	p := &Phase{name: name, parent: parent, hist: h}
+	r.phases[name] = p
+	return p
+}
+
+// NewCounter registers name in the Default registry.
+func NewCounter(name, help string) *Counter { return Default.Counter(name, help) }
+
+// NewGauge registers name in the Default registry.
+func NewGauge(name, help string) *Gauge { return Default.Gauge(name, help) }
+
+// NewHistogram registers name in the Default registry.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	return Default.Histogram(name, help, bounds)
+}
+
+// NewPhase registers name in the Default registry.
+func NewPhase(name, parent string) *Phase { return Default.Phase(name, parent) }

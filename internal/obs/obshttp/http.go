@@ -1,0 +1,83 @@
+// Package obshttp serves an obs.Registry over HTTP: the opt-in -obs
+// endpoint shared by cmd/ebda-verify, cmd/ebda-sim and cmd/ebda-repro. It
+// exposes /metrics (Prometheus text), /debug/vars (the JSON snapshot) and
+// the standard net/http/pprof profile handlers, and implements the
+// -obs-json end-of-run dump. It lives in a subpackage so the engine
+// packages that record metrics never link net/http.
+package obshttp
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+
+	"ebda/internal/obs"
+)
+
+// Handler routes /metrics, /debug/vars and /debug/pprof/* for one
+// registry.
+func Handler(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := reg.Snapshot().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr and serves Handler(reg) in a background goroutine,
+// returning the server (Close stops it) and the bound address — useful
+// with ":0".
+func Serve(addr string, reg *obs.Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}
+
+// Setup wires the shared -obs/-obs-json command flags against the Default
+// registry: when addr is non-empty the endpoint starts immediately; the
+// returned finish function writes the end-of-run JSON dump when jsonPath
+// is non-empty. Commands call finish once the run is complete, before
+// deciding their exit status.
+func Setup(addr, jsonPath string) (finish func() error, err error) {
+	if addr != "" {
+		_, bound, err := Serve(addr, obs.Default)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "obs: serving /metrics, /debug/vars and /debug/pprof on %s\n", bound)
+	}
+	return func() error {
+		if jsonPath == "" {
+			return nil
+		}
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := obs.Default.Snapshot().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}, nil
+}

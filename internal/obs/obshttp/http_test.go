@@ -1,0 +1,71 @@
+package obshttp
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ebda/internal/obs"
+)
+
+func TestHandlerMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("ebda_verify_cache_hits_total", "cache hits").Add(5)
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "ebda_verify_cache_hits_total 5") {
+		t.Fatalf("metrics body missing counter:\n%s", body)
+	}
+}
+
+func TestHandlerDebugVars(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("c_total", "").Add(2)
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := obs.ParseSnapshot(body)
+	if err != nil {
+		t.Fatalf("debug/vars not a snapshot: %v\n%s", err, body)
+	}
+	if s.Counter("c_total") != 2 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestServeBindsEphemeralPort(t *testing.T) {
+	srv, addr, err := Serve("127.0.0.1:0", obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if !strings.Contains(addr, ":") || strings.HasSuffix(addr, ":0") {
+		t.Fatalf("bound addr = %q", addr)
+	}
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers per family, counter and
+// gauge samples, and full histogram expositions with cumulative _bucket
+// series, _sum and _count. Phase tables are exported as the
+// ebda_phase_spans_total / ebda_phase_seconds_total counter families plus
+// the per-phase duration histograms already registered by Phase.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	r.mu.Lock()
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+	return writeProm(w, s, help)
+}
+
+// WritePrometheus renders a snapshot without HELP text (the Registry
+// method carries the registered help strings).
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	return writeProm(w, s, nil)
+}
+
+func writeProm(w io.Writer, s Snapshot, help map[string]string) error {
+	var err error
+	emit := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	header := func(done map[string]bool, base, typ string) {
+		if done[base] {
+			return
+		}
+		done[base] = true
+		if h := help[base]; h != "" {
+			emit("# HELP %s %s\n", base, h)
+		}
+		emit("# TYPE %s %s\n", base, typ)
+	}
+
+	counterDone := map[string]bool{}
+	for _, c := range s.Counters {
+		base, labels := splitSeries(c.Name)
+		header(counterDone, base, "counter")
+		emit("%s %d\n", series(base, labels), c.Value)
+	}
+	gaugeDone := map[string]bool{}
+	for _, g := range s.Gauges {
+		base, labels := splitSeries(g.Name)
+		header(gaugeDone, base, "gauge")
+		emit("%s %d\n", series(base, labels), g.Value)
+	}
+	phaseDone := map[string]bool{}
+	for _, p := range s.Phases {
+		header(phaseDone, "ebda_phase_spans_total", "counter")
+		emit("%s %d\n", series("ebda_phase_spans_total", phaseLabel(p.Name)), p.Count)
+	}
+	for _, p := range s.Phases {
+		header(phaseDone, "ebda_phase_seconds_total", "counter")
+		emit("%s %s\n", series("ebda_phase_seconds_total", phaseLabel(p.Name)), formatFloat(p.TotalSeconds))
+	}
+	histDone := map[string]bool{}
+	for _, h := range s.Histograms {
+		base, labels := splitSeries(h.Name)
+		header(histDone, base, "histogram")
+		cum := uint64(0)
+		for i, bound := range h.Bounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			emit("%s %d\n", series(base+"_bucket", joinLabels(labels, `le="`+formatFloat(bound)+`"`)), cum)
+		}
+		emit("%s %d\n", series(base+"_bucket", joinLabels(labels, `le="+Inf"`)), h.Count)
+		emit("%s %s\n", series(base+"_sum", labels), formatFloat(h.Sum))
+		emit("%s %d\n", series(base+"_count", labels), h.Count)
+	}
+	return err
+}
+
+// splitSeries separates "name{k=\"v\"}" into the base name and the label
+// body (without braces).
+func splitSeries(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
+// series renders base plus an optional label body.
+func series(base, labels string) string {
+	if labels == "" {
+		return base
+	}
+	return base + "{" + labels + "}"
+}
+
+// joinLabels merges two label bodies with a comma.
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+// phaseLabel renders the phase label body for the phase counter families.
+func phaseLabel(name string) string { return `phase="` + name + `"` }
+
+// formatFloat renders a float the way Prometheus expects (shortest
+// round-trip representation).
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

@@ -1,0 +1,29 @@
+package partstrat
+
+import "ebda/internal/obs"
+
+// Strategy instrumentation: chains produced per partitioning family,
+// labeled so /metrics shows which of the paper's strategies a sweep
+// exercised. Derive and DeriveWithPairings count their deduplicated
+// output; Partition counts each successful Algorithm 1 run (including the
+// ones Derive drives internally).
+var (
+	obsChainsAlgorithm1 = obs.NewCounter(
+		obs.Label("ebda_partstrat_chains_total", "family", "algorithm1"),
+		"chains produced per partitioning strategy family")
+	obsChainsDerive = obs.NewCounter(
+		obs.Label("ebda_partstrat_chains_total", "family", "derive"),
+		"chains produced per partitioning strategy family")
+	obsChainsPairings = obs.NewCounter(
+		obs.Label("ebda_partstrat_chains_total", "family", "pairings"),
+		"chains produced per partitioning strategy family")
+	obsChainsExceptional = obs.NewCounter(
+		obs.Label("ebda_partstrat_chains_total", "family", "exceptional"),
+		"chains produced per partitioning strategy family")
+	obsChainsSplit = obs.NewCounter(
+		obs.Label("ebda_partstrat_chains_total", "family", "split"),
+		"chains produced per partitioning strategy family")
+	obsChainsMinFull = obs.NewCounter(
+		obs.Label("ebda_partstrat_chains_total", "family", "minfull"),
+		"chains produced per partitioning strategy family")
+)

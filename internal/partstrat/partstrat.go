@@ -209,7 +209,11 @@ func (a Arrangement) Partition() (*core.Chain, error) {
 			return sets[x].PairCount() > sets[y].PairCount()
 		})
 	}
-	return core.NewChain(parts...)
+	chain, err := core.NewChain(parts...)
+	if err == nil {
+		obsChainsAlgorithm1.Inc()
+	}
+	return chain, err
 }
 
 func autoName(i int) string {
@@ -276,6 +280,7 @@ func Derive(a Arrangement) ([]*core.Chain, error) {
 	if err := rec(0); err != nil {
 		return nil, err
 	}
+	obsChainsDerive.Add(uint64(len(out)))
 	return out, nil
 }
 
@@ -357,6 +362,7 @@ func DeriveWithPairings(a Arrangement) ([]*core.Chain, error) {
 			}
 		}
 	}
+	obsChainsPairings.Add(uint64(len(out)))
 	return out, nil
 }
 
@@ -387,6 +393,7 @@ func ExceptionalCase(dims int) []*core.Chain {
 		)
 		out = append(out, chain)
 	}
+	obsChainsExceptional.Add(uint64(len(out)))
 	return out
 }
 
@@ -404,6 +411,7 @@ func SplitLast(c *core.Chain) *core.Chain {
 			i++
 		}
 	}
+	obsChainsSplit.Inc()
 	return core.MustChain(parts...)
 }
 
@@ -415,6 +423,7 @@ func FullSplit(c *core.Chain) *core.Chain {
 	for _, cls := range c.Channels() {
 		parts = append(parts, core.MustPartition(autoName(len(parts)), cls))
 	}
+	obsChainsSplit.Inc()
 	return core.MustChain(parts...)
 }
 
@@ -472,7 +481,11 @@ func MinFullyAdaptiveChain(n int) (*core.Chain, error) {
 		}
 		parts = append(parts, p)
 	}
-	return core.NewChain(parts...)
+	chain, err := core.NewChain(parts...)
+	if err == nil {
+		obsChainsMinFull.Inc()
+	}
+	return chain, err
 }
 
 // VCRequirements returns the per-dimension VC counts used by

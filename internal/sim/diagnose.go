@@ -129,8 +129,10 @@ func (s *Simulator) diagnose() string {
 		}
 	}
 	if len(cycle) == 0 {
+		obsDiagNoCycle.Inc()
 		return "no wait cycle found (check for empty routing candidates)"
 	}
+	obsDiagCycle.Inc()
 	var b strings.Builder
 	b.WriteString("wait cycle:\n")
 	for _, n := range cycle {

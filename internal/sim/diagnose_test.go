@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"ebda/internal/channel"
+	"ebda/internal/core"
+	"ebda/internal/routing"
+	"ebda/internal/topology"
+)
+
+// stressConfig is the adversarial load every diagnose case runs under:
+// long packets, shallow buffers, heavy injection — the setting where an
+// unbroken dependency cycle wedges within the watchdog window.
+func stressConfig(alg routing.Algorithm) Config {
+	return Config{
+		Net: topology.NewMesh(4, 4), Alg: alg,
+		InjectionRate: 0.6, PacketLen: 8, BufferDepth: 2, Seed: 7,
+		Warmup: 2000, Measure: 6000, Drain: 2000, DeadlockThreshold: 500,
+	}
+}
+
+// TestDiagnoseOutcomes pins the diagnose path on both sides of the EbDa
+// boundary: a turn set with an unbroken cycle must wedge and yield a wait
+// cycle trace (counted under outcome="cycle"), while EbDa-derived designs
+// under the identical load must never reach diagnose at all. The obs
+// counters are asserted as deltas so the runs double as a check that the
+// simulator's instrumentation fires exactly when the semantics say.
+func TestDiagnoseOutcomes(t *testing.T) {
+	cases := []struct {
+		name         string
+		cfg          func() Config
+		wantDeadlock bool
+	}{
+		{
+			name:         "unrestricted-deadlocks",
+			cfg:          func() Config { return stressConfig(routing.NewUnrestricted()) },
+			wantDeadlock: true,
+		},
+		{
+			name: "north-last-chain-free",
+			cfg: func() Config {
+				alg := routing.NewFromChain("north-last-chain",
+					core.MustParseChain("PA[X+ X- Y-] -> PB[Y+]"), 2)
+				c := stressConfig(alg)
+				c.VCs = alg.VCs()
+				return c
+			},
+			wantDeadlock: false,
+		},
+		{
+			name: "negative-first-free",
+			cfg: func() Config {
+				alg := routing.NewFromChain("negative-first",
+					core.MustParseChain("PA[X- Y-] -> PB[X+ Y+]"), 2)
+				c := stressConfig(alg)
+				c.VCs = alg.VCs()
+				return c
+			},
+			wantDeadlock: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			deadlocksBefore := obsDeadlocks.Value()
+			cycleBefore := obsDiagCycle.Value()
+			noCycleBefore := obsDiagNoCycle.Value()
+			runsBefore := obsRuns.Value()
+
+			res := New(tc.cfg()).Run()
+
+			if res.Deadlocked != tc.wantDeadlock {
+				t.Fatalf("Deadlocked = %v, want %v: %s", res.Deadlocked, tc.wantDeadlock, res)
+			}
+			if got := obsRuns.Value() - runsBefore; got != 1 {
+				t.Errorf("ebda_sim_runs_total delta = %d, want 1", got)
+			}
+			deadlockDelta := obsDeadlocks.Value() - deadlocksBefore
+			cycleDelta := obsDiagCycle.Value() - cycleBefore
+			noCycleDelta := obsDiagNoCycle.Value() - noCycleBefore
+			if tc.wantDeadlock {
+				if !strings.Contains(res.DeadlockTrace, "wait cycle:") {
+					t.Errorf("missing wait cycle trace:\n%s", res.DeadlockTrace)
+				}
+				if deadlockDelta != 1 {
+					t.Errorf("ebda_sim_deadlocks_total delta = %d, want 1", deadlockDelta)
+				}
+				if cycleDelta != 1 || noCycleDelta != 0 {
+					t.Errorf("diagnose outcome deltas = cycle %d / no_cycle %d, want 1 / 0",
+						cycleDelta, noCycleDelta)
+				}
+			} else {
+				if res.DeadlockTrace != "" {
+					t.Errorf("free design produced a deadlock trace:\n%s", res.DeadlockTrace)
+				}
+				if deadlockDelta != 0 || cycleDelta != 0 || noCycleDelta != 0 {
+					t.Errorf("free design moved diagnose counters: deadlocks %d, cycle %d, no_cycle %d",
+						deadlockDelta, cycleDelta, noCycleDelta)
+				}
+			}
+		})
+	}
+}
+
+// emptyAlg is a degenerate routing function that returns no candidates:
+// injected traffic strands in source queues, the watchdog fires, and
+// diagnose finds no wait cycle — the failure its fallback note documents.
+type emptyAlg struct{}
+
+func (emptyAlg) Name() string { return "empty" }
+func (emptyAlg) Candidates(*topology.Network, topology.NodeID, *channel.Class, topology.NodeID) []channel.Class {
+	return nil
+}
+
+// TestDiagnoseNoCycleOutcome pins the no-cycle branch and its obs counter.
+func TestDiagnoseNoCycleOutcome(t *testing.T) {
+	before := obsDiagNoCycle.Value()
+	cfg := stressConfig(emptyAlg{})
+	res := New(cfg).Run()
+	if !res.Deadlocked {
+		t.Fatalf("candidate-less routing must wedge: %s", res)
+	}
+	if !strings.Contains(res.DeadlockTrace, "no wait cycle found") {
+		t.Fatalf("trace = %q, want the no-cycle note", res.DeadlockTrace)
+	}
+	if got := obsDiagNoCycle.Value() - before; got != 1 {
+		t.Errorf("no_cycle outcome delta = %d, want 1", got)
+	}
+}

@@ -281,6 +281,8 @@ type Simulator struct {
 	lastProgress int
 
 	injected, delivered int
+	injectedFlits       int
+	deliveredFlits      int
 	latencies           []int
 	measuredFlits       int
 	traceIdx            int
@@ -333,22 +335,26 @@ func RunSeedsJobs(cfg Config, n, jobs int) Replicated {
 	}
 	results := make([]Result, n)
 	if jobs <= 1 {
+		sp := phaseSeeds.Start()
 		for i := 0; i < n; i++ {
 			c := cfg
 			c.Seed = cfg.Seed + int64(i)
 			results[i] = New(c).Run()
 		}
+		sp.End()
 	} else {
 		var wg sync.WaitGroup
 		wg.Add(jobs)
 		for w := 0; w < jobs; w++ {
 			go func(w int) {
 				defer wg.Done()
+				sp := phaseSeeds.StartWorker(w)
 				for i := w; i < n; i += jobs {
 					c := cfg
 					c.Seed = cfg.Seed + int64(i)
 					results[i] = New(c).Run()
 				}
+				sp.End()
 			}(w)
 		}
 		wg.Wait()
@@ -468,6 +474,15 @@ func (s *Simulator) NodeLoad() []int {
 // Run executes the configured warmup/measure/drain phases and returns the
 // result. The watchdog may end the run early on deadlock.
 func (s *Simulator) Run() Result {
+	sp := phaseRun.Start()
+	res := s.run()
+	s.recordObs(res)
+	sp.End()
+	return res
+}
+
+// run is the cycle loop behind Run, free of observability bookkeeping.
+func (s *Simulator) run() Result {
 	total := s.cfg.Warmup + s.cfg.Measure + s.cfg.Drain
 	for s.cycle = 0; s.cycle < total; s.cycle++ {
 		if s.cycle < s.cfg.Warmup+s.cfg.Measure {
@@ -600,6 +615,7 @@ func (s *Simulator) enqueuePacket(src, dst topology.NodeID, length int) {
 		})
 	}
 	s.injected++
+	s.injectedFlits += length
 	s.inFlight += length
 }
 
@@ -841,6 +857,7 @@ func (s *Simulator) creditUpstream(r *router, port, vc int) {
 // deliver consumes an ejected flit and records statistics on tails.
 func (s *Simulator) deliver(f flit) {
 	s.inFlight--
+	s.deliveredFlits++
 	if f.pkt.measured {
 		s.measuredFlits++
 	}
