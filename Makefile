@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-diff repro fmt vet lint obs-smoke check clean
+.PHONY: all build test race bench bench-json bench-diff repro fmt vet lint obs-smoke serve-smoke fuzz-short check clean
 
 all: check
 
@@ -51,9 +51,24 @@ lint: vet
 obs-smoke:
 	$(GO) run ./cmd/ebda-obssmoke
 
+# serve-smoke starts ebda-serve on a loopback port, drives the fixed
+# seeded loadgen workload against it (-smoke: zero 5xx, >=1 coalesced
+# request, byte-identical verdicts for repeated identical requests,
+# invalid requests rejected with 4xx; writes BENCH_serve.json), then
+# SIGTERMs the server and requires a clean graceful drain.
+serve-smoke:
+	GO="$(GO)" ./scripts/serve-smoke.sh
+
+# fuzz-short gives the /v1 request decoder a brief native-fuzz shake on
+# every check; the seeded corpus alone regresses in milliseconds, the
+# 5s budget lets the mutator explore a little too.
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeVerifyRequest -fuzztime=5s ./internal/serve
+
 # race is part of check so the worker pools are race-tested routinely;
-# obs-smoke keeps the -obs-json determinism contract honest.
-check: build lint test race obs-smoke
+# obs-smoke keeps the -obs-json determinism contract honest; serve-smoke
+# and fuzz-short guard the HTTP serving layer end to end.
+check: build lint test race obs-smoke serve-smoke fuzz-short
 
 clean:
 	$(GO) clean ./...

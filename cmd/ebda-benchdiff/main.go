@@ -1,20 +1,31 @@
-// Command ebda-benchdiff compares two BENCH_verify.json perf snapshots
-// (see `make bench-json`) and fails when wall times or verify-cache hit
-// rates regress.
+// Command ebda-benchdiff compares two perf snapshots and fails when they
+// regress. It understands both snapshot families and dispatches on the
+// "kind" field: engine snapshots (BENCH_verify.json, written by
+// `make bench-json`, no kind) and serving snapshots (BENCH_serve.json,
+// written by ebda-loadgen, kind "serve"). Mixing the two is a usage
+// error.
 //
-// Experiments are matched by ID and CDG cases by network name; entries
-// present in only one snapshot are reported but never fail the diff. A
-// wall-time regression is a ratio above -threshold (default 1.20, i.e.
-// >20% slower) on an entry whose baseline wall time is at least -minwall
-// seconds — sub-millisecond entries are timer noise, not signal. A
-// hit-rate regression is a per-experiment verify-cache hit rate that
-// dropped by more than -hitrate-drop (default 0.10, i.e. 10 percentage
-// points) between snapshots, on experiments with cache traffic in both.
+// Engine diff: experiments are matched by ID and CDG cases by network
+// name; entries present in only one snapshot are reported but never fail
+// the diff. A wall-time regression is a ratio above -threshold (default
+// 1.20, i.e. >20% slower) on an entry whose baseline wall time is at
+// least -minwall seconds — sub-millisecond entries are timer noise, not
+// signal. A hit-rate regression is a per-experiment verify-cache hit
+// rate that dropped by more than -hitrate-drop (default 0.10, i.e. 10
+// percentage points) between snapshots, on experiments with cache
+// traffic in both.
+//
+// Serve diff: p99 latency may grow by at most -p99-grow (default 1.25,
+// i.e. 25%), throughput may drop by at most -tput-drop (default 0.25),
+// and the 5xx count may not increase. The latency check is skipped when
+// the baseline p99 is below -minp99 milliseconds — micro-benchmark noise,
+// not signal.
 //
 // Usage:
 //
 //	ebda-benchdiff old.json new.json
 //	ebda-benchdiff -threshold 1.10 -minwall 0.01 -hitrate-drop 0.05 old.json new.json
+//	ebda-benchdiff -p99-grow 1.10 -tput-drop 0.10 BENCH_serve.old.json BENCH_serve.json
 //
 // Exit status: 0 when no regression, 1 on regression, 2 on usage errors.
 package main
@@ -27,6 +38,7 @@ import (
 	"os"
 
 	"ebda/internal/experiments"
+	"ebda/internal/serve"
 )
 
 func main() {
@@ -42,19 +54,51 @@ func run(argv []string, out, errw io.Writer) int {
 	threshold := fs.Float64("threshold", 1.20, "fail when new/old wall-time ratio exceeds this")
 	minWall := fs.Float64("minwall", 0.005, "ignore entries whose baseline wall time is below this many seconds")
 	hitRateDrop := fs.Float64("hitrate-drop", 0.10, "fail when a per-experiment cache hit rate drops by more than this fraction")
+	p99Grow := fs.Float64("p99-grow", 1.25, "serve snapshots: fail when new/old p99 latency ratio exceeds this")
+	tputDrop := fs.Float64("tput-drop", 0.25, "serve snapshots: fail when throughput drops by more than this fraction")
+	minP99 := fs.Float64("minp99", 1.0, "serve snapshots: ignore the latency check when the baseline p99 is below this many ms")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
 	if fs.NArg() != 2 {
-		fmt.Fprintln(errw, "usage: ebda-benchdiff [-threshold 1.2] [-minwall 0.005] OLD.json NEW.json")
+		fmt.Fprintln(errw, "usage: ebda-benchdiff [-threshold 1.2] [-minwall 0.005] [-p99-grow 1.25] [-tput-drop 0.25] OLD.json NEW.json")
 		return 2
 	}
-	oldB, err := load(fs.Arg(0))
+	oldRaw, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(errw, "ebda-benchdiff:", err)
 		return 2
 	}
-	newB, err := load(fs.Arg(1))
+	newRaw, err := os.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(errw, "ebda-benchdiff:", err)
+		return 2
+	}
+	oldKind, err := kindOf(fs.Arg(0), oldRaw)
+	if err != nil {
+		fmt.Fprintln(errw, "ebda-benchdiff:", err)
+		return 2
+	}
+	newKind, err := kindOf(fs.Arg(1), newRaw)
+	if err != nil {
+		fmt.Fprintln(errw, "ebda-benchdiff:", err)
+		return 2
+	}
+	if oldKind != newKind {
+		fmt.Fprintf(errw, "ebda-benchdiff: snapshot kinds differ (%s is %s, %s is %s)\n",
+			fs.Arg(0), orEngine(oldKind), fs.Arg(1), orEngine(newKind))
+		return 2
+	}
+	if oldKind == serve.BenchKind {
+		return diffServe(out, errw, fs.Arg(0), fs.Arg(1), oldRaw, newRaw, *p99Grow, *tputDrop, *minP99)
+	}
+
+	oldB, err := load(fs.Arg(0), oldRaw)
+	if err != nil {
+		fmt.Fprintln(errw, "ebda-benchdiff:", err)
+		return 2
+	}
+	newB, err := load(fs.Arg(1), newRaw)
 	if err != nil {
 		fmt.Fprintln(errw, "ebda-benchdiff:", err)
 		return 2
@@ -198,14 +242,94 @@ func diffHitRates(w io.Writer, oldB, newB experiments.Bench, maxDrop float64) in
 	return regressions
 }
 
-func load(path string) (experiments.Bench, error) {
+func load(path string, data []byte) (experiments.Bench, error) {
 	var b experiments.Bench
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return b, err
-	}
 	if err := json.Unmarshal(data, &b); err != nil {
 		return b, fmt.Errorf("%s: %w", path, err)
 	}
 	return b, nil
+}
+
+// kindOf probes a snapshot's "kind" field: empty for engine snapshots,
+// "serve" for serving-layer snapshots.
+func kindOf(path string, data []byte) (string, error) {
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	return probe.Kind, nil
+}
+
+// orEngine names a kind for the mixed-kinds error message.
+func orEngine(kind string) string {
+	if kind == "" {
+		return "an engine snapshot"
+	}
+	return "a " + kind + " snapshot"
+}
+
+// diffServe compares two serving-layer snapshots: p99 latency growth,
+// throughput drop and the 5xx count.
+func diffServe(out, errw io.Writer, oldPath, newPath string, oldRaw, newRaw []byte, p99Grow, tputDrop, minP99 float64) int {
+	oldB, err := serve.ReadBench(oldRaw)
+	if err != nil {
+		fmt.Fprintf(errw, "ebda-benchdiff: %s: %v\n", oldPath, err)
+		return 2
+	}
+	newB, err := serve.ReadBench(newRaw)
+	if err != nil {
+		fmt.Fprintf(errw, "ebda-benchdiff: %s: %v\n", newPath, err)
+		return 2
+	}
+	fmt.Fprintf(out, "old: %s (%s, %d requests, seed %d)\n", oldPath, oldB.GoVersion, oldB.Requests, oldB.Seed)
+	fmt.Fprintf(out, "new: %s (%s, %d requests, seed %d)\n", newPath, newB.GoVersion, newB.Requests, newB.Seed)
+	if oldB.Seed != newB.Seed || oldB.Requests != newB.Requests {
+		fmt.Fprintln(out, "warning: snapshots ran different workloads; numbers are weak evidence")
+	}
+
+	regressions := 0
+	p99Ratio := 0.0
+	if oldB.P99Millis > 0 {
+		p99Ratio = newB.P99Millis / oldB.P99Millis
+	}
+	status := "ok"
+	switch {
+	case oldB.P99Millis < minP99:
+		status = "skip (below minp99)"
+	case p99Ratio > p99Grow:
+		status = "REGRESSION"
+		regressions++
+	}
+	fmt.Fprintf(out, "  %-14s %10.2fms -> %10.2fms  (%5.2fx)  %s\n",
+		"p99 latency", oldB.P99Millis, newB.P99Millis, p99Ratio, status)
+	fmt.Fprintf(out, "  %-14s %10.2fms -> %10.2fms\n", "p50 latency", oldB.P50Millis, newB.P50Millis)
+
+	drop := 0.0
+	if oldB.ThroughputRPS > 0 {
+		drop = (oldB.ThroughputRPS - newB.ThroughputRPS) / oldB.ThroughputRPS
+	}
+	status = "ok"
+	if drop > tputDrop {
+		status = "REGRESSION"
+		regressions++
+	}
+	fmt.Fprintf(out, "  %-14s %8.1f/s -> %8.1f/s  (%+5.1f%%)  %s\n",
+		"throughput", oldB.ThroughputRPS, newB.ThroughputRPS, -drop*100, status)
+
+	status = "ok"
+	if newB.Status5xx > oldB.Status5xx {
+		status = "REGRESSION"
+		regressions++
+	}
+	fmt.Fprintf(out, "  %-14s %10d   -> %10d    %s\n", "5xx responses", oldB.Status5xx, newB.Status5xx, status)
+	fmt.Fprintf(out, "  %-14s %10.3f   -> %10.3f\n", "coalesce rate", oldB.CoalesceRate, newB.CoalesceRate)
+
+	if regressions > 0 {
+		fmt.Fprintf(out, "\n%d regression(s)\n", regressions)
+		return 1
+	}
+	fmt.Fprintln(out, "\nno serving-layer regressions")
+	return 0
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"ebda/internal/experiments"
+	"ebda/internal/serve"
 )
 
 // snapshot builds a Bench fixture with one experiment and one CDG case at
@@ -200,5 +201,139 @@ func TestUsageErrors(t *testing.T) {
 	}
 	if code := run([]string{"/nonexistent/a.json", "/nonexistent/b.json"}, &out, &errw); code != 2 {
 		t.Fatalf("missing files: run = %d, want 2", code)
+	}
+}
+
+// serveSnapshot builds a serving-layer fixture.
+func serveSnapshot(p99MS, tput float64, s5xx int) serve.Bench {
+	return serve.Bench{
+		Kind: serve.BenchKind, GoVersion: "go1.24", NumCPU: 8,
+		Seed: 1, Requests: 300,
+		Status2xx: 300 - s5xx, Status5xx: s5xx,
+		Cache: 200, Computed: 90, Coalesced: 10, CoalesceRate: 10.0 / 300,
+		WallSeconds: float64(300) / tput, ThroughputRPS: tput,
+		P50Millis: p99MS / 4, P99Millis: p99MS,
+	}
+}
+
+// writeServeSnapshot marshals b into dir and returns the file path.
+func writeServeSnapshot(t *testing.T, dir, name string, b serve.Bench) string {
+	t.Helper()
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestServeEqualSnapshots diffs a serve snapshot against itself: clean.
+func TestServeEqualSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	old := writeServeSnapshot(t, dir, "old.json", serveSnapshot(20, 500, 0))
+	cur := writeServeSnapshot(t, dir, "new.json", serveSnapshot(20, 500, 0))
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; output:\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "no serving-layer regressions") {
+		t.Errorf("missing clean verdict:\n%s", out.String())
+	}
+}
+
+// TestServeP99Regression fails when p99 grows past -p99-grow.
+func TestServeP99Regression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeServeSnapshot(t, dir, "old.json", serveSnapshot(20, 500, 0))
+	cur := writeServeSnapshot(t, dir, "new.json", serveSnapshot(30, 500, 0)) // 1.5x
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 1 {
+		t.Fatalf("run = %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "p99 latency") || !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("missing p99 REGRESSION row:\n%s", out.String())
+	}
+	// A 1.2x growth stays inside the default 1.25 budget...
+	out.Reset()
+	cur = writeServeSnapshot(t, dir, "new2.json", serveSnapshot(24, 500, 0))
+	if code := run([]string{old, cur}, &out, &errw); code != 0 {
+		t.Fatalf("1.2x growth: run = %d, want 0; output:\n%s", code, out.String())
+	}
+	// ...and fails once -p99-grow tightens.
+	out.Reset()
+	if code := run([]string{"-p99-grow", "1.10", old, cur}, &out, &errw); code != 1 {
+		t.Fatalf("-p99-grow 1.10: run = %d, want 1; output:\n%s", code, out.String())
+	}
+}
+
+// TestServeMinP99SkipsNoise skips the latency check on sub-minp99
+// baselines where a large ratio is scheduler noise.
+func TestServeMinP99SkipsNoise(t *testing.T) {
+	dir := t.TempDir()
+	old := writeServeSnapshot(t, dir, "old.json", serveSnapshot(0.5, 500, 0))
+	cur := writeServeSnapshot(t, dir, "new.json", serveSnapshot(0.9, 500, 0)) // 1.8x but tiny
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "skip (below minp99)") {
+		t.Errorf("missing minp99 skip:\n%s", out.String())
+	}
+}
+
+// TestServeThroughputRegression fails when throughput drops past
+// -tput-drop.
+func TestServeThroughputRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeServeSnapshot(t, dir, "old.json", serveSnapshot(20, 500, 0))
+	cur := writeServeSnapshot(t, dir, "new.json", serveSnapshot(20, 300, 0)) // -40%
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 1 {
+		t.Fatalf("run = %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "throughput") || !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("missing throughput REGRESSION row:\n%s", out.String())
+	}
+	// A 10% drop is within the default budget; -tput-drop 0.05 fails it.
+	out.Reset()
+	cur = writeServeSnapshot(t, dir, "new2.json", serveSnapshot(20, 450, 0))
+	if code := run([]string{old, cur}, &out, &errw); code != 0 {
+		t.Fatalf("10%% drop: run = %d, want 0; output:\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-tput-drop", "0.05", old, cur}, &out, &errw); code != 1 {
+		t.Fatalf("-tput-drop 0.05: run = %d, want 1; output:\n%s", code, out.String())
+	}
+}
+
+// TestServe5xxRegression fails when the 5xx count increases.
+func TestServe5xxRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeServeSnapshot(t, dir, "old.json", serveSnapshot(20, 500, 0))
+	cur := writeServeSnapshot(t, dir, "new.json", serveSnapshot(20, 500, 3))
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 1 {
+		t.Fatalf("run = %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "5xx responses") || !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("missing 5xx REGRESSION row:\n%s", out.String())
+	}
+}
+
+// TestMixedKindsRejected refuses to diff an engine snapshot against a
+// serve snapshot.
+func TestMixedKindsRejected(t *testing.T) {
+	dir := t.TempDir()
+	eng := writeSnapshot(t, dir, "engine.json", snapshot(1.0, 0.5))
+	srv := writeServeSnapshot(t, dir, "serve.json", serveSnapshot(20, 500, 0))
+	var out, errw bytes.Buffer
+	if code := run([]string{eng, srv}, &out, &errw); code != 2 {
+		t.Fatalf("mixed kinds: run = %d, want 2; stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "kinds differ") {
+		t.Errorf("missing kind mismatch message: %s", errw.String())
 	}
 }

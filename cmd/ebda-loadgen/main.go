@@ -1,0 +1,475 @@
+// Command ebda-loadgen drives ebda-serve with a deterministic seeded
+// workload and writes the serving-layer perf snapshot
+// (BENCH_serve.json: p50/p99 latency, throughput, coalesce rate, error
+// counts) that ebda-benchdiff compares across commits.
+//
+// The workload mixes hot requests (a small set of repeated designs that
+// exercise the verify cache), cold requests (fresh shapes that compute),
+// batches, design-family requests and deliberately invalid bodies. A
+// final burst phase fires identical concurrent requests at a fresh shape
+// until at least one response reports coalesced provenance.
+//
+// With -addr empty the generator starts an in-process server (same code
+// path as ebda-serve) on a loopback port, which also lets it probe the
+// /readyz drain contract. With -smoke it asserts the serving invariants
+// and exits 1 on any violation:
+//
+//   - zero 5xx responses (top-level and batch items)
+//   - at least one coalesced verdict
+//   - repeated identical requests return byte-identical verdicts
+//     (provenance aside)
+//   - every invalid request is rejected with a 4xx
+//
+// Usage examples:
+//
+//	ebda-loadgen -smoke -out BENCH_serve.json
+//	ebda-loadgen -addr 127.0.0.1:8423 -requests 2000 -conc 16
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"ebda/internal/obs"
+	"ebda/internal/obs/obshttp"
+	"ebda/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// genReq is one pre-generated request of the deterministic workload.
+type genReq struct {
+	path    string
+	body    string
+	invalid bool // expected to be rejected with a 4xx
+}
+
+// result is one completed request.
+type result struct {
+	status    int
+	latencyMS float64
+	// provenance tallies across the verdicts the response carried (a
+	// batch or design response carries several).
+	cache, computed, coalesced int
+	item5xx                    int
+	invalid                    bool
+}
+
+func run(argv []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("ebda-loadgen", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	addr := fs.String("addr", "", "target server (host:port); empty starts an in-process server")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	requests := fs.Int("requests", 200, "requests in the main phase")
+	conc := fs.Int("conc", 8, "concurrent client workers")
+	outPath := fs.String("out", "BENCH_serve.json", "perf snapshot path (empty disables)")
+	smoke := fs.Bool("smoke", false, "assert serving invariants; exit 1 on violation")
+	burst := fs.Int("burst", 8, "width of the coalesce burst phase")
+	workers := fs.Int("workers", 0, "in-process server: worker pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "in-process server: queue depth (0 = default)")
+	timeout := fs.Duration("timeout", 0, "in-process server: per-request deadline (0 = default)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *requests < 1 || *conc < 1 || *burst < 1 {
+		fmt.Fprintln(errw, "ebda-loadgen: -requests, -conc and -burst must be positive")
+		return 2
+	}
+
+	cfg := serve.Config{Workers: *workers, QueueDepth: *queue, Timeout: *timeout}
+	base := *addr
+	var local *serve.Server
+	if base == "" {
+		srv, bound, err := startLocal(cfg)
+		if err != nil {
+			fmt.Fprintln(errw, "ebda-loadgen:", err)
+			return 2
+		}
+		local = srv
+		base = bound
+		fmt.Fprintf(errw, "ebda-loadgen: in-process server on %s\n", base)
+	}
+	baseURL := "http://" + base
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// Phase 1: the seeded mix, spread over conc workers.
+	reqs := generate(*seed, *requests)
+	start := time.Now() //ebda:allow detlint the load generator measures wall latency by design
+	results := make([]result, len(reqs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = doReq(client, baseURL, reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	// Phase 2: coalesce burst — identical concurrent requests at fresh
+	// shapes until one response reports coalesced provenance. Fresh
+	// sizes start above the cold range so every attempt misses the
+	// cache.
+	coalesceSeen := 0
+	for sz := 63; sz >= 33 && coalesceSeen == 0; sz-- {
+		// Largest admissible shapes first: their verifications run
+		// longest, so the window in which a second request can join the
+		// flight is widest.
+		body := fmt.Sprintf(`{"network":{"kind":"mesh","sizes":[%d,%d]},"chain":"PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]"}`, sz, sz)
+		burstRes := make([]result, *burst)
+		var bw sync.WaitGroup
+		barrier := make(chan struct{})
+		for b := 0; b < *burst; b++ {
+			bw.Add(1)
+			go func(b int) {
+				defer bw.Done()
+				<-barrier
+				burstRes[b] = doReq(client, baseURL, genReq{path: "/v1/verify", body: body})
+			}(b)
+		}
+		close(barrier)
+		bw.Wait()
+		for _, r := range burstRes {
+			coalesceSeen += r.coalesced
+			results = append(results, r)
+		}
+	}
+	wall := time.Since(start).Seconds() //ebda:allow detlint the load generator measures wall latency by design
+
+	// Phase 3: determinism — the identical request twice, sequentially;
+	// the verdicts must be byte-identical once provenance (legitimately
+	// cache vs computed) is cleared.
+	deterministic, detErr := identicalVerdicts(client, baseURL)
+
+	// Phase 4 (in-process only): the drain contract. /readyz answers 200
+	// while serving and 503 once shutdown begins.
+	drainOK := true
+	var drainMsg string
+	if local != nil {
+		drainOK, drainMsg = probeDrain(client, baseURL, local)
+	}
+
+	// Aggregate.
+	b := serve.Bench{
+		Kind:        serve.BenchKind,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339), //ebda:allow detlint bench snapshots are stamped with real wall time by design
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Workers:     cfg.Workers,
+		QueueDepth:  cfg.QueueDepth,
+		Seed:        *seed,
+		WallSeconds: wall,
+	}
+	latencies := make([]float64, 0, len(results))
+	invalidBad := 0
+	for _, r := range results {
+		b.Requests++
+		latencies = append(latencies, r.latencyMS)
+		switch {
+		case r.status >= 500:
+			b.Status5xx++
+		case r.status >= 400:
+			b.Status4xx++
+		case r.status >= 200 && r.status < 300:
+			b.Status2xx++
+		}
+		b.Status5xx += r.item5xx
+		b.Cache += r.cache
+		b.Computed += r.computed
+		b.Coalesced += r.coalesced
+		if r.invalid && (r.status < 400 || r.status >= 500) {
+			invalidBad++
+		}
+	}
+	if total := b.Cache + b.Computed + b.Coalesced; total > 0 {
+		b.CoalesceRate = float64(b.Coalesced) / float64(total)
+	}
+	if wall > 0 {
+		b.ThroughputRPS = float64(b.Requests) / wall
+	}
+	b.P50Millis = serve.Quantile(latencies, 0.50)
+	b.P99Millis = serve.Quantile(latencies, 0.99)
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(errw, "ebda-loadgen:", err)
+			return 2
+		}
+		if err := b.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintln(errw, "ebda-loadgen:", err)
+			return 2
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(errw, "ebda-loadgen:", err)
+			return 2
+		}
+		fmt.Fprintf(errw, "ebda-loadgen: snapshot written to %s\n", *outPath)
+	}
+
+	fmt.Fprintf(out, "requests %d  2xx %d  4xx %d  5xx %d\n", b.Requests, b.Status2xx, b.Status4xx, b.Status5xx)
+	fmt.Fprintf(out, "verdicts: cache %d  computed %d  coalesced %d (rate %.3f)\n", b.Cache, b.Computed, b.Coalesced, b.CoalesceRate)
+	fmt.Fprintf(out, "latency: p50 %.2fms  p99 %.2fms  throughput %.1f req/s\n", b.P50Millis, b.P99Millis, b.ThroughputRPS)
+
+	if *smoke {
+		violations := 0
+		fail := func(format string, args ...any) {
+			violations++
+			fmt.Fprintf(errw, "SMOKE FAIL: "+format+"\n", args...)
+		}
+		if b.Status5xx != 0 {
+			fail("%d responses were 5xx, want 0", b.Status5xx)
+		}
+		if b.Coalesced < 1 {
+			fail("no request coalesced onto an in-flight computation")
+		}
+		if !deterministic {
+			fail("repeated identical requests returned different verdicts: %s", detErr)
+		}
+		if invalidBad != 0 {
+			fail("%d invalid requests were not rejected with a 4xx", invalidBad)
+		}
+		if !drainOK {
+			fail("drain contract: %s", drainMsg)
+		}
+		if violations > 0 {
+			return 1
+		}
+		fmt.Fprintln(out, "smoke: all serving invariants hold")
+	}
+	return 0
+}
+
+// startLocal runs the ebda-serve pipeline in-process on a loopback port.
+func startLocal(cfg serve.Config) (*serve.Server, string, error) {
+	srv := serve.New(cfg)
+	mux := obshttp.Mux(obs.Default, srv.Ready)
+	srv.Register(mux)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	go http.Serve(ln, mux)
+	return srv, ln.Addr().String(), nil
+}
+
+// hotBodies is the repeated-design set: small shapes the verify cache
+// memoizes after first contact.
+var hotBodies = []string{
+	`{"network":{"kind":"mesh","sizes":[8,8]},"chain":"PA[X+ X- Y-] -> PB[Y+]"}`,
+	`{"network":{"kind":"mesh","sizes":[6,6]},"chain":"PA[X-] -> PB[X+ Y+ Y-]"}`,
+	`{"network":{"kind":"mesh","sizes":[5,5]},"chain":"PA[X- Y-] -> PB[X+ Y+]"}`,
+	`{"network":{"kind":"torus","sizes":[6,6]},"chain":"PA[X+ Y+] -> PB[X- Y-]"}`,
+	`{"network":{"kind":"mesh","sizes":[4,4]},"turns":"X+>Y+,X->Y+,X+>Y-,X->Y-"}`,
+}
+
+// invalidBodies are rejected by decode or validation; the server must
+// answer each with a 4xx.
+var invalidBodies = []string{
+	`{"network":{"kind":"ring","sizes":[8,8]},"chain":"PA[X+]"}`,
+	`{"network":{"kind":"mesh","sizes":[1,8]},"chain":"PA[X+]"}`,
+	`{"network":{"kind":"mesh","sizes":[8,8]},"chain":"PA[X+]","turns":"X+>Y+"}`,
+	`{"network":{"kind":"mesh","sizes":[8,8]},"chain":"PA[Q*]"}`,
+	`{"network":{"kind":"mesh","sizes":[8,8]}}`,
+	`not json at all`,
+}
+
+// coldChains parameterize the fresh-shape requests.
+var coldChains = []string{
+	"PA[X+ X- Y-] -> PB[Y+]",
+	"PA[X-] -> PB[X+ Y+ Y-]",
+	"PA[X- Y-] -> PB[X+ Y+]",
+	"PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]",
+}
+
+// generate builds the deterministic request mix for a seed: roughly half
+// hot, a quarter cold, the rest split between batches, design families
+// and invalid bodies.
+func generate(seed uint64, n int) []genReq {
+	rng := rand.New(rand.NewSource(int64(seed)))
+	reqs := make([]genReq, 0, n)
+	for i := 0; i < n; i++ {
+		switch p := rng.Intn(100); {
+		case p < 50:
+			reqs = append(reqs, genReq{path: "/v1/verify", body: hotBodies[rng.Intn(len(hotBodies))]})
+		case p < 75:
+			reqs = append(reqs, genReq{path: "/v1/verify", body: coldBody(rng)})
+		case p < 85:
+			items := make([]string, 2+rng.Intn(3))
+			for j := range items {
+				if rng.Intn(2) == 0 {
+					items[j] = hotBodies[rng.Intn(len(hotBodies))]
+				} else {
+					items[j] = coldBody(rng)
+				}
+			}
+			reqs = append(reqs, genReq{path: "/v1/batch", body: `{"requests":[` + strings.Join(items, ",") + `]}`})
+		case p < 90:
+			vcs := []string{`[1,1]`, `[1,2]`, `[2,1]`}[rng.Intn(3)]
+			reqs = append(reqs, genReq{path: "/v1/design", body: `{"vcs":` + vcs + `,"max":4}`})
+		default:
+			reqs = append(reqs, genReq{path: "/v1/verify", body: invalidBodies[rng.Intn(len(invalidBodies))], invalid: true})
+		}
+	}
+	return reqs
+}
+
+// coldBody draws a fresh-ish shape: sizes in [2,32] so the burst phase's
+// [33,63] range never collides with it.
+func coldBody(rng *rand.Rand) string {
+	a, b := 2+rng.Intn(31), 2+rng.Intn(31)
+	kind := "mesh"
+	if rng.Intn(4) == 0 {
+		kind = "torus"
+	}
+	chain := coldChains[rng.Intn(len(coldChains))]
+	return fmt.Sprintf(`{"network":{"kind":"%s","sizes":[%d,%d]},"chain":"%s"}`, kind, a, b, chain)
+}
+
+// doReq posts one request and tallies its response.
+func doReq(client *http.Client, baseURL string, r genReq) result {
+	t0 := time.Now() //ebda:allow detlint the load generator measures wall latency by design
+	resp, err := client.Post(baseURL+r.path, "application/json", strings.NewReader(r.body))
+	if err != nil {
+		// Transport failure counts as a 5xx: the server broke the
+		// connection contract.
+		return result{status: 599, invalid: r.invalid}
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	res := result{
+		status:    resp.StatusCode,
+		latencyMS: time.Since(t0).Seconds() * 1000, //ebda:allow detlint the load generator measures wall latency by design
+		invalid:   r.invalid,
+	}
+	if resp.StatusCode != http.StatusOK {
+		return res
+	}
+	switch r.path {
+	case "/v1/verify":
+		var v serve.VerifyResponse
+		if json.Unmarshal(body, &v) == nil {
+			res.tally(v.Provenance)
+		}
+	case "/v1/batch":
+		var b serve.BatchResponse
+		if json.Unmarshal(body, &b) == nil {
+			for _, item := range b.Results {
+				if item.OK != nil {
+					res.tally(item.OK.Provenance)
+				} else if item.Status >= 500 {
+					res.item5xx++
+				}
+			}
+		}
+	case "/v1/design":
+		var d serve.DesignResponse
+		if json.Unmarshal(body, &d) == nil {
+			for _, opt := range d.Options {
+				res.tally(opt.Provenance)
+			}
+		}
+	}
+	return res
+}
+
+func (r *result) tally(provenance string) {
+	switch provenance {
+	case "cache":
+		r.cache++
+	case "computed":
+		r.computed++
+	case "coalesced":
+		r.coalesced++
+	}
+}
+
+// identicalVerdicts posts the same request twice sequentially and
+// compares the canonicalized responses byte for byte.
+func identicalVerdicts(client *http.Client, baseURL string) (bool, string) {
+	const body = `{"network":{"kind":"mesh","sizes":[8,8]},"chain":"PA[X+ X- Y-] -> PB[Y+]"}`
+	canon := func() ([]byte, error) {
+		resp, err := client.Post(baseURL+"/v1/verify", "application/json", strings.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		var v serve.VerifyResponse
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			return nil, err
+		}
+		v.Provenance = ""
+		return json.Marshal(v)
+	}
+	a, err := canon()
+	if err != nil {
+		return false, err.Error()
+	}
+	b, err := canon()
+	if err != nil {
+		return false, err.Error()
+	}
+	if !bytes.Equal(a, b) {
+		return false, fmt.Sprintf("first %s, second %s", a, b)
+	}
+	return true, ""
+}
+
+// probeDrain checks the readiness contract on the in-process server:
+// ready while serving, 503 once shutdown begins.
+func probeDrain(client *http.Client, baseURL string, srv *serve.Server) (bool, string) {
+	readyz := func() (int, error) {
+		resp, err := client.Get(baseURL + "/readyz")
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+	code, err := readyz()
+	if err != nil {
+		return false, err.Error()
+	}
+	if code != http.StatusOK {
+		return false, fmt.Sprintf("/readyz before drain = %d, want 200", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return false, "shutdown: " + err.Error()
+	}
+	code, err = readyz()
+	if err != nil {
+		return false, err.Error()
+	}
+	if code != http.StatusServiceUnavailable {
+		return false, fmt.Sprintf("/readyz during drain = %d, want 503", code)
+	}
+	return true, ""
+}

@@ -1,0 +1,100 @@
+// Command ebda-serve runs the verification engine as an HTTP JSON
+// service: POST /v1/verify (one design's deadlock-freedom verdict),
+// POST /v1/design (the verified Algorithm 1/2 option family for a VC
+// budget) and POST /v1/batch (up to 64 designs per call). The same mux
+// serves the introspection set — /metrics, /debug/vars, /debug/pprof,
+// /healthz and /readyz — so one port carries both the API and its
+// observability.
+//
+// Admission is a bounded queue in front of a fixed worker pool: a full
+// queue answers 429, a draining server answers 503, and a request past
+// its deadline answers 504. Identical concurrent requests coalesce onto
+// one computation, and verdicts are memoized in the engine's verify
+// cache. SIGINT/SIGTERM starts a graceful drain: /readyz flips to 503
+// immediately, in-flight verifications finish, then the listener stops.
+//
+// Usage examples:
+//
+//	ebda-serve -addr :8423
+//	ebda-serve -addr 127.0.0.1:0 -workers 4 -queue 128 -timeout 5s
+//	curl -s localhost:8423/v1/verify -d '{"network":{"kind":"mesh","sizes":[8,8]},"chain":"PA[X+ X- Y-] -> PB[Y+]"}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ebda/internal/obs"
+	"ebda/internal/obs/obshttp"
+	"ebda/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8423", "listen address (host:port; :0 picks a free port)")
+	workers := flag.Int("workers", 0, "verification worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = default 64)")
+	timeout := flag.Duration("timeout", 0, "per-request deadline (0 = default 10s)")
+	jobs := flag.Int("jobs", 0, "intra-verification parallelism (0 = default 1)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget after SIGTERM/SIGINT")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Timeout:    *timeout,
+		Jobs:       *jobs,
+	})
+	mux := obshttp.Mux(obs.Default, srv.Ready)
+	srv.Register(mux)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ebda-serve:", err)
+		return 2
+	}
+	httpSrv := &http.Server{Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	// The listening line is the readiness contract for scripts (the CI
+	// soak and the load generator wait for it).
+	fmt.Printf("ebda-serve: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "ebda-serve:", err)
+		return 2
+	case <-ctx.Done():
+	}
+	stop()
+
+	fmt.Fprintln(os.Stderr, "ebda-serve: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Order matters: flip the server to draining first so /readyz
+	// answers 503 (load balancers stop routing) while queued work
+	// finishes, then stop the HTTP listener once handlers are done.
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "ebda-serve: drain:", err)
+		httpSrv.Close()
+		return 1
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "ebda-serve: shutdown:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "ebda-serve: drained cleanly")
+	return 0
+}

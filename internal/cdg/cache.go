@@ -1,6 +1,7 @@
 package cdg
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -142,6 +143,15 @@ func verifyKey(net *topology.Network, vcs VCConfig, ts *core.TurnSet) (key, chec
 	return h1, h2
 }
 
+// VerifyKey exposes the cache's dual-hash identity of a verification:
+// the canonical key and its independently derived check hash. The pair is
+// stable across processes and jobs values, so serving layers can use it
+// to coalesce concurrent identical verifications onto one computation
+// (two requests share a flight iff they would share a cache entry).
+func VerifyKey(net *topology.Network, vcs VCConfig, ts *core.TurnSet) (key, check uint64) {
+	return verifyKey(net, vcs, ts)
+}
+
 // mix64 is the splitmix64 finalizer, used to diffuse key components.
 func mix64(x uint64) uint64 {
 	x ^= x >> 30
@@ -152,11 +162,13 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-// VerifyTurnSetJobs returns the memoized report for the (network, vcs,
-// turn set) shape, computing and caching it on a miss via the pooled
-// verification path (jobs <= 0 means all cores). Reports are identical to
-// the uncached path for every jobs value.
-func (c *VerifyCache) VerifyTurnSetJobs(net *topology.Network, vcs VCConfig, ts *core.TurnSet, jobs int) Report {
+// Lookup probes the cache without computing on a miss. A hit counts as
+// cache traffic (it answers a verification); a miss counts nothing — the
+// caller decides whether to compute, and the computing entry point
+// records the miss. Serving layers use Lookup to report cache provenance
+// exactly: hit -> served from cache, miss -> computed (or coalesced onto
+// another request's computation).
+func (c *VerifyCache) Lookup(net *topology.Network, vcs VCConfig, ts *core.TurnSet) (Report, bool) {
 	key, check := verifyKey(net, vcs, ts)
 	c.mu.RLock()
 	e, ok := c.m[key]
@@ -164,11 +176,41 @@ func (c *VerifyCache) VerifyTurnSetJobs(net *topology.Network, vcs VCConfig, ts 
 	if ok && e.check == check {
 		c.hits.Add(1)
 		obsCacheHits.Inc()
-		return e.rep
+		return e.rep, true
+	}
+	return Report{}, false
+}
+
+// VerifyTurnSetJobs returns the memoized report for the (network, vcs,
+// turn set) shape, computing and caching it on a miss via the pooled
+// verification path (jobs <= 0 means all cores). Reports are identical to
+// the uncached path for every jobs value.
+func (c *VerifyCache) VerifyTurnSetJobs(net *topology.Network, vcs VCConfig, ts *core.TurnSet, jobs int) Report {
+	rep, _ := c.VerifyTurnSetCtx(context.Background(), net, vcs, ts, jobs)
+	return rep
+}
+
+// VerifyTurnSetCtx is VerifyTurnSetJobs with a deadline. A cache hit is
+// answered even when ctx has already expired — it costs no work and the
+// verdict is real. A miss computes through the context-aware pooled path;
+// cancellation returns ctx's error, counts the probe as a miss, and
+// stores nothing (partial peels never become cache entries).
+func (c *VerifyCache) VerifyTurnSetCtx(ctx context.Context, net *topology.Network, vcs VCConfig, ts *core.TurnSet, jobs int) (Report, error) {
+	key, check := verifyKey(net, vcs, ts)
+	c.mu.RLock()
+	e, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok && e.check == check {
+		c.hits.Add(1)
+		obsCacheHits.Inc()
+		return e.rep, nil
 	}
 	c.misses.Add(1)
 	obsCacheMisses.Inc()
-	rep := VerifyTurnSetJobs(net, vcs, ts, jobs)
+	rep, err := VerifyTurnSetCtx(ctx, net, vcs, ts, jobs)
+	if err != nil {
+		return Report{}, err
+	}
 	c.mu.Lock()
 	if c.m == nil || len(c.m) >= maxCacheEntries {
 		if n := len(c.m); n > 0 {
@@ -180,7 +222,7 @@ func (c *VerifyCache) VerifyTurnSetJobs(net *topology.Network, vcs VCConfig, ts 
 	c.m[key] = cacheEntry{check: check, rep: rep}
 	obsCacheEntries.Set(int64(len(c.m)))
 	c.mu.Unlock()
-	return rep
+	return rep, nil
 }
 
 // VerifyTurnSetCached is VerifyTurnSet through the DefaultCache.

@@ -13,6 +13,7 @@
 package cdg
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -733,10 +734,21 @@ func VerifyTurnSet(net *topology.Network, vcs VCConfig, ts *core.TurnSet) Report
 //
 //ebda:hotpath
 func VerifyTurnSetJobs(net *topology.Network, vcs VCConfig, ts *core.TurnSet, jobs int) Report {
-	ws := DefaultPool.Get(net, vcs)
-	rep := ws.VerifyTurnSetJobs(ts, jobs)
-	DefaultPool.Put(ws)
+	rep, _ := VerifyTurnSetCtx(context.Background(), net, vcs, ts, jobs)
 	return rep
+}
+
+// VerifyTurnSetCtx is VerifyTurnSetJobs with a deadline: cancellation is
+// observed before the build and between Kahn rounds and returns ctx's
+// error with a zero Report. A cancelled verification never produces a
+// verdict, so the served result is always backed by a completed CDG check;
+// the workspace is returned to the pool either way (its buffers are
+// re-zeroed on the next use).
+func VerifyTurnSetCtx(ctx context.Context, net *topology.Network, vcs VCConfig, ts *core.TurnSet, jobs int) (Report, error) {
+	ws := DefaultPool.Get(net, vcs)
+	rep, err := ws.VerifyTurnSetCtx(ctx, ts, jobs)
+	DefaultPool.Put(ws)
+	return rep, err
 }
 
 // VerifyChain extracts the full turn set of a chain (Theorems 1-3, U/I

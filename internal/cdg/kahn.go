@@ -1,6 +1,9 @@
 package cdg
 
-import "sync/atomic"
+import (
+	"context"
+	"sync/atomic"
+)
 
 // This file implements the parallel acyclicity fast path: a Kahn
 // topological peel over the bounded worker pool, with cycle extraction by
@@ -60,12 +63,18 @@ func (st *acyclicState) ensure(n int) {
 // peeled; the graph is acyclic iff that equals NumChannels. jobs <= 0
 // means all cores. On return st.indeg marks the residual (indeg > 0).
 //
+// ctx is checked once per frontier round (rounds are the only unbounded
+// dimension of the peel; one round is a bounded parallel sweep), so a
+// server deadline stops the work within a round's latency. On
+// cancellation the peel stops early and returns ctx's error; the partial
+// peel count must not be used for a verdict.
+//
 //ebda:hotpath
-func (g *Graph) kahnPeel(jobs int, st *acyclicState) int {
+func (g *Graph) kahnPeel(ctx context.Context, jobs int, st *acyclicState) (int, error) {
 	nc := len(g.channels)
 	st.ensure(nc)
 	if nc == 0 {
-		return 0
+		return 0, ctx.Err()
 	}
 	workers := resolveJobs(jobs, nc)
 	indeg := st.indeg
@@ -103,6 +112,12 @@ func (g *Graph) kahnPeel(jobs int, st *acyclicState) int {
 	// decrement returns the new value, so exactly one worker sees zero and
 	// discovery buffers stay duplicate-free.
 	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			st.frontier = frontier
+			obsKahnRounds.Add(rounds)
+			obsVerifyCancelled.Inc()
+			return peeled, err
+		}
 		rounds++
 		w := resolveJobs(workers, len(frontier))
 		out := st.swap[:0]
@@ -135,7 +150,7 @@ func (g *Graph) kahnPeel(jobs int, st *acyclicState) int {
 	}
 	st.frontier = frontier
 	obsKahnRounds.Add(rounds)
-	return peeled
+	return peeled, nil
 }
 
 // findCycleResidual extracts one dependency cycle from the residual left
@@ -209,7 +224,8 @@ func (g *Graph) findCycleResidual(st *acyclicState) []Channel {
 // is identical for every jobs value.
 func (g *Graph) AcyclicJobs(jobs int) bool {
 	var st acyclicState
-	return g.kahnPeel(jobs, &st) == len(g.channels)
+	peeled, _ := g.kahnPeel(context.Background(), jobs, &st)
+	return peeled == len(g.channels)
 }
 
 // FindCycleJobs returns one dependency cycle (the last element depends on
@@ -219,7 +235,7 @@ func (g *Graph) AcyclicJobs(jobs int) bool {
 // the DFS a smaller graph. Output is identical for every jobs value.
 func (g *Graph) FindCycleJobs(jobs int) []Channel {
 	var st acyclicState
-	if g.kahnPeel(jobs, &st) == len(g.channels) {
+	if peeled, _ := g.kahnPeel(context.Background(), jobs, &st); peeled == len(g.channels) {
 		return nil
 	}
 	return g.findCycleResidual(&st)

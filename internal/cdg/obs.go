@@ -16,6 +16,8 @@ var (
 		"frontier rounds executed by the Kahn topological peel")
 	obsResidualDFS = obs.NewCounter("ebda_cdg_residual_dfs_total",
 		"residual cycle-extraction DFS runs (one per cyclic verification)")
+	obsVerifyCancelled = obs.NewCounter("ebda_cdg_verify_cancelled_total",
+		"verifications abandoned by context cancellation before a verdict")
 
 	obsCacheHits = obs.NewCounter("ebda_verify_cache_hits_total",
 		"verify cache probes answered from a memoized report")

@@ -1,6 +1,7 @@
 package cdg
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -49,12 +50,19 @@ func (ws *Workspace) Reset() {
 
 // report runs the acyclicity fast path on the current graph and assembles
 // the Report. The Cycle channels are value copies, so the report stays
-// valid after the workspace is reset or reused.
-func (ws *Workspace) report(jobs int) Report {
+// valid after the workspace is reset or reused. Cancellation between Kahn
+// rounds returns ctx's error and a zero Report — a cancelled verification
+// never yields a verdict.
+func (ws *Workspace) report(ctx context.Context, jobs int) (Report, error) {
 	g := ws.g
 	var cyc []Channel
 	sp := phaseAcycl.Start()
-	if g.kahnPeel(jobs, &ws.st) != len(g.channels) {
+	peeled, err := g.kahnPeel(ctx, jobs, &ws.st)
+	if err != nil {
+		sp.End()
+		return Report{}, err
+	}
+	if peeled != len(g.channels) {
 		obsResidualDFS.Inc()
 		cyc = g.findCycleResidual(&ws.st)
 	}
@@ -69,15 +77,23 @@ func (ws *Workspace) report(jobs int) Report {
 		Edges:    g.NumEdges(),
 		Acyclic:  cyc == nil,
 		Cycle:    cyc,
-	}
+	}, nil
 }
 
-// VerifyTurnSetJobs resets the workspace, builds the dependency graph of
-// the turn set and checks acyclicity (jobs <= 0 means all cores). The
-// report is bit-identical to the unpooled path for every jobs value.
+// VerifyTurnSetCtx resets the workspace, builds the dependency graph of
+// the turn set and checks acyclicity (jobs <= 0 means all cores), honouring
+// ctx: cancellation is observed before the build and between Kahn rounds,
+// and returns ctx's error with a zero Report. A completed report is
+// bit-identical to the unpooled path for every jobs value. The workspace
+// stays reusable after a cancelled run — every buffer is re-zeroed by the
+// next verification.
 //
 //ebda:hotpath
-func (ws *Workspace) VerifyTurnSetJobs(ts *core.TurnSet, jobs int) Report {
+func (ws *Workspace) VerifyTurnSetCtx(ctx context.Context, ts *core.TurnSet, jobs int) (Report, error) {
+	if err := ctx.Err(); err != nil {
+		obsVerifyCancelled.Inc()
+		return Report{}, err
+	}
 	sp := phaseVerify.Start()
 	ws.Reset()
 	if ws.matched == nil {
@@ -86,8 +102,16 @@ func (ws *Workspace) VerifyTurnSetJobs(ts *core.TurnSet, jobs int) Report {
 	esp := phaseEdges.Start()
 	ws.g.addTurnEdges(ts, jobs, ws.matched)
 	esp.End()
-	rep := ws.report(jobs)
+	rep, err := ws.report(ctx, jobs)
 	sp.End()
+	return rep, err
+}
+
+// VerifyTurnSetJobs is VerifyTurnSetCtx without a deadline.
+//
+//ebda:hotpath
+func (ws *Workspace) VerifyTurnSetJobs(ts *core.TurnSet, jobs int) Report {
+	rep, _ := ws.VerifyTurnSetCtx(context.Background(), ts, jobs)
 	return rep
 }
 
@@ -98,7 +122,7 @@ func (ws *Workspace) VerifyTurnSetJobs(ts *core.TurnSet, jobs int) Report {
 func (ws *Workspace) VerifyRelationJobs(route RoutingRelation, name string, jobs int) Report {
 	ws.Reset()
 	ws.g.AddRoutingEdgesJobs(route, jobs)
-	rep := ws.report(jobs)
+	rep, _ := ws.report(context.Background(), jobs)
 	if name != "" {
 		rep.Network = name
 	}

@@ -10,11 +10,16 @@ func TestLocklintGolden(t *testing.T)   { RunGolden(t, "locklint", Locklint) }
 func TestHotpathGolden(t *testing.T)    { RunGolden(t, "hotpath", Hotpath) }
 func TestVerifygateGolden(t *testing.T) { RunGolden(t, "verifygate", Verifygate) }
 
+// TestVerifygateServeGolden exercises the stricter serving-layer contract:
+// the golden package's import path ends in "/serve", so the uncached
+// entry points and Workspace verify methods are banned too.
+func TestVerifygateServeGolden(t *testing.T) { RunGolden(t, "verifygate/serve", Verifygate) }
+
 // TestSuiteCleanOnEngine runs the full suite over the packages that carry
 // the invariants it guards — the engine itself must lint clean, so a
 // regression in cdg/core/routing fails here as well as in make lint.
 func TestSuiteCleanOnEngine(t *testing.T) {
-	for _, rel := range []string{"internal/cdg", "internal/core", "internal/routing"} {
+	for _, rel := range []string{"internal/cdg", "internal/core", "internal/routing", "internal/serve"} {
 		pkg := loadRepoPackage(t, rel)
 		diags, err := Run(pkg, All())
 		if err != nil {

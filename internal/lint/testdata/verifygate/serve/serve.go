@@ -1,0 +1,73 @@
+// Package serve is verifygate's serving-layer golden file. Its import
+// path ends in "/serve", so the analyzer applies the stricter serving
+// contract: on top of the usual bans, every verdict must flow through
+// the verify cache — the uncached package-level entry points and the
+// Workspace verify methods are forbidden here.
+package serve
+
+import (
+	"context"
+
+	"ebda/internal/cdg"
+	"ebda/internal/core"
+	"ebda/internal/topology"
+)
+
+// uncachedVerdict computes a served verdict without the cache.
+func uncachedVerdict(net *topology.Network, ts *core.TurnSet) bool {
+	return cdg.VerifyTurnSet(net, nil, ts).Acyclic // want `uncached verify call cdg.VerifyTurnSet in`
+}
+
+// uncachedParallel is the Jobs variant of the same mistake.
+func uncachedParallel(net *topology.Network, ts *core.TurnSet) bool {
+	return cdg.VerifyTurnSetJobs(net, nil, ts, 4).Acyclic // want `uncached verify call cdg.VerifyTurnSetJobs in`
+}
+
+// uncachedCtx threads a deadline but still skips the cache.
+func uncachedCtx(ctx context.Context, net *topology.Network, ts *core.TurnSet) (cdg.Report, error) {
+	return cdg.VerifyTurnSetCtx(ctx, net, nil, ts, 1) // want `uncached verify call cdg.VerifyTurnSetCtx in`
+}
+
+// uncachedChain verifies a chain outside the cache.
+func uncachedChain(net *topology.Network, chain *core.Chain) bool {
+	return cdg.VerifyChain(net, chain).Acyclic // want `uncached verify call cdg.VerifyChain in`
+}
+
+// rawBuild constructs the graph directly; in a serving package even the
+// build step is off the blessed path.
+func rawBuild(net *topology.Network, ts *core.TurnSet) *cdg.Graph {
+	return cdg.BuildFromTurnSet(net, nil, ts) // want `uncached verify call cdg.BuildFromTurnSet in`
+}
+
+// workspaceVerdict bypasses the cache via a private workspace.
+func workspaceVerdict(ctx context.Context, net *topology.Network, ts *core.TurnSet) (cdg.Report, error) {
+	ws := cdg.NewWorkspace(net, nil)
+	return ws.VerifyTurnSetCtx(ctx, ts, 1) // want `workspace verify call cdg.Workspace.VerifyTurnSetCtx`
+}
+
+// cachedVerdict is the blessed serving path: Lookup for hits, then the
+// cache's context-aware compute for misses.
+func cachedVerdict(ctx context.Context, c *cdg.VerifyCache, net *topology.Network, ts *core.TurnSet) (cdg.Report, error) {
+	if rep, ok := c.Lookup(net, nil, ts); ok {
+		return rep, nil
+	}
+	return c.VerifyTurnSetCtx(ctx, net, nil, ts, 1)
+}
+
+// cachedHelpers shows the other sanctioned entry points: the dual-hash
+// key for coalescing and the process-wide cached wrappers.
+func cachedHelpers(net *topology.Network, ts *core.TurnSet) (uint64, bool) {
+	key, _ := cdg.VerifyKey(net, nil, ts)
+	return key, cdg.VerifyTurnSetCachedJobs(net, nil, ts, 2).Acyclic
+}
+
+// errorPath returns the zero-value Report beside a non-nil error; an
+// empty literal carries no verdict and is not flagged.
+func errorPath(err error) (cdg.Report, error) {
+	return cdg.Report{}, err
+}
+
+// diagnosticAllowed keeps the escape hatch working in serving packages.
+func diagnosticAllowed(net *topology.Network, ts *core.TurnSet) bool {
+	return cdg.VerifyTurnSet(net, nil, ts).Acyclic //ebda:allow verifygate golden-file demonstration of a sanctioned diagnostic
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // cdgPath is the package whose verification engine verifygate protects.
@@ -17,6 +18,15 @@ const cdgPath = "ebda/internal/cdg"
 // acyclicity primitives directly (Acyclic, AcyclicJobs, FindCycle,
 // FindCycleJobs) bypasses both, and hand-assembled cdg.Report literals
 // forge verdicts the engine never produced.
+//
+// Serving packages (ebda/internal/serve and anything whose import path
+// ends in "/serve") carry a stricter contract: every verdict they hand a
+// client must flow through the verify cache — VerifyCache.Lookup plus a
+// cache-computing entry point — so responses are memoized, coalescible
+// and identical across requests. In those packages the uncached pooled
+// entry points (cdg.VerifyTurnSet / VerifyTurnSetJobs / VerifyTurnSetCtx,
+// VerifyChain, VerifyRelation, BuildFromTurnSet and the Workspace verify
+// methods) are also forbidden.
 //
 // Diagnostic tooling that genuinely needs the raw graph (DOT export,
 // topological witnesses) may carry //ebda:allow verifygate with a
@@ -33,10 +43,27 @@ var gatedGraphMethods = map[string]bool{
 	"Acyclic": true, "AcyclicJobs": true, "FindCycle": true, "FindCycleJobs": true,
 }
 
+// uncachedVerifyFuncs are the package-level cdg entry points that compute
+// without consulting the verify cache — fine for sweeps and experiments,
+// forbidden where served verdicts must be memoized.
+var uncachedVerifyFuncs = map[string]bool{
+	"VerifyTurnSet": true, "VerifyTurnSetJobs": true, "VerifyTurnSetCtx": true,
+	"VerifyChain": true, "VerifyRelation": true, "VerifyRelationJobs": true,
+	"BuildFromTurnSet": true, "BuildFromTurnSetJobs": true,
+}
+
+// servingPkg reports whether an import path carries the serving-layer
+// contract (the repo's internal/serve, or a /serve-suffixed package such
+// as the golden testdata).
+func servingPkg(path string) bool {
+	return path == "ebda/internal/serve" || strings.HasSuffix(path, "/serve")
+}
+
 func runVerifygate(pass *Pass) error {
 	if pass.PkgPath == cdgPath {
 		return nil
 	}
+	serving := servingPkg(pass.PkgPath)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch x := n.(type) {
@@ -46,14 +73,27 @@ func runVerifygate(pass *Pass) error {
 					return true
 				}
 				sig, ok := fn.Type().(*types.Signature)
-				if !ok || sig.Recv() == nil {
+				if !ok {
 					return true
 				}
-				if recvNamed(sig.Recv().Type()) == "Graph" && gatedGraphMethods[fn.Name()] {
+				if sig.Recv() == nil {
+					if serving && uncachedVerifyFuncs[fn.Name()] {
+						pass.Reportf(x.Pos(), "uncached verify call cdg.%s in a serving package; served verdicts must flow through the verify cache (VerifyCache.Lookup / VerifyTurnSetCtx or the Cached entry points)", fn.Name())
+					}
+					return true
+				}
+				recv := recvNamed(sig.Recv().Type())
+				if recv == "Graph" && gatedGraphMethods[fn.Name()] {
 					pass.Reportf(x.Pos(), "direct acyclicity call cdg.Graph.%s outside internal/cdg; obtain verdicts via cdg.VerifyTurnSetCached/VerifyChainCached or routing.Verify (//ebda:allow verifygate for diagnostics)", fn.Name())
 				}
+				if serving && recv == "Workspace" && strings.HasPrefix(fn.Name(), "Verify") {
+					pass.Reportf(x.Pos(), "workspace verify call cdg.Workspace.%s in a serving package; served verdicts must flow through the verify cache", fn.Name())
+				}
 			case *ast.CompositeLit:
-				if t := pass.TypeOf(x); t != nil && namedPath(t) == cdgPath+".Report" {
+				// The zero value cdg.Report{} carries no verdict (error
+				// paths return it alongside a non-nil error); only a
+				// literal with fields forges one.
+				if t := pass.TypeOf(x); t != nil && len(x.Elts) > 0 && namedPath(t) == cdgPath+".Report" {
 					pass.Reportf(x.Pos(), "cdg.Report constructed by hand outside internal/cdg; reports must come from the verification engine")
 				}
 			}

@@ -1,13 +1,16 @@
 // Package obshttp serves an obs.Registry over HTTP: the opt-in -obs
-// endpoint shared by cmd/ebda-verify, cmd/ebda-sim and cmd/ebda-repro. It
-// exposes /metrics (Prometheus text), /debug/vars (the JSON snapshot) and
-// the standard net/http/pprof profile handlers, and implements the
-// -obs-json end-of-run dump. It lives in a subpackage so the engine
-// packages that record metrics never link net/http.
+// endpoint shared by cmd/ebda-verify, cmd/ebda-sim and cmd/ebda-repro,
+// and the introspection mux embedded by cmd/ebda-serve. It exposes
+// /metrics (Prometheus text), /debug/vars (the JSON snapshot), the
+// standard net/http/pprof profile handlers and the /healthz + /readyz
+// probes, and implements the -obs-json end-of-run dump. It lives in a
+// subpackage so the engine packages that record metrics never link
+// net/http.
 package obshttp
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -16,9 +19,14 @@ import (
 	"ebda/internal/obs"
 )
 
-// Handler routes /metrics, /debug/vars and /debug/pprof/* for one
-// registry.
-func Handler(reg *obs.Registry) http.Handler {
+// Mux routes /metrics, /debug/vars, /debug/pprof/*, /healthz and /readyz
+// for one registry, returning the mux so callers (ebda-serve) can add
+// their own routes beside the introspection set. ready gates /readyz: nil
+// means always ready; a false return (a draining server) answers 503 so
+// load balancers stop routing new work while in-flight requests finish.
+// /healthz is liveness and always answers 200 — a draining process is
+// still alive.
+func Mux(reg *obs.Registry, ready func() bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -37,8 +45,23 @@ func Handler(reg *obs.Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if ready != nil && !ready() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ready\n")
+	})
 	return mux
 }
+
+// Handler routes the introspection set for one registry, always ready.
+func Handler(reg *obs.Registry) http.Handler { return Mux(reg, nil) }
 
 // Serve binds addr and serves Handler(reg) in a background goroutine,
 // returning the server (Close stops it) and the bound address — useful

@@ -59,6 +59,65 @@ func TestHandlerDebugVars(t *testing.T) {
 	}
 }
 
+func TestHealthzAlwaysOK(t *testing.T) {
+	draining := func() bool { return false }
+	srv := httptest.NewServer(Mux(obs.NewRegistry(), draining))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /healthz = %d, want 200 even while not ready", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "ok\n" {
+		t.Fatalf("healthz body = %q", body)
+	}
+}
+
+func TestReadyzFollowsReadiness(t *testing.T) {
+	ready := true
+	srv := httptest.NewServer(Mux(obs.NewRegistry(), func() bool { return ready }))
+	defer srv.Close()
+
+	get := func() int {
+		resp, err := srv.Client().Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+	if code := get(); code != 200 {
+		t.Fatalf("ready server: GET /readyz = %d, want 200", code)
+	}
+	ready = false
+	if code := get(); code != 503 {
+		t.Fatalf("draining server: GET /readyz = %d, want 503", code)
+	}
+}
+
+func TestReadyzNilGateAlwaysReady(t *testing.T) {
+	srv := httptest.NewServer(Handler(obs.NewRegistry()))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /readyz with nil gate = %d, want 200", resp.StatusCode)
+	}
+}
+
 func TestServeBindsEphemeralPort(t *testing.T) {
 	srv, addr, err := Serve("127.0.0.1:0", obs.NewRegistry())
 	if err != nil {

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"ebda/internal/cdg"
+)
+
+// flightGroup coalesces concurrent identical verifications onto one
+// computation. Flights are keyed by the verify cache's dual-hash
+// identity (cdg.VerifyKey): two requests share a flight iff they would
+// share a cache entry, so a coalesced verdict is exactly the verdict the
+// joiner would have computed.
+//
+// The leader's computation runs in its own goroutine on a context
+// detached from any single request: joiners may outlive the request that
+// started the flight, so the compute is cancelled only when every
+// interested waiter has left (a refcount), or when the flight-wide
+// timeout fires. A completed flight is removed from the map before its
+// result is published; by then the verify cache holds the report, so
+// late arrivals hit the cache instead of a stale flight.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[uint64]*flightCall
+}
+
+type flightCall struct {
+	check  uint64
+	done   chan struct{}
+	cancel context.CancelFunc
+	refs   int
+	rep    cdg.Report
+	err    error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[uint64]*flightCall)}
+}
+
+// do returns the verification keyed (key, check), joining an in-flight
+// computation when one exists and otherwise leading a new one through
+// fn. The leader bool reports which role this call played. fn receives a
+// context bounded by timeout and cancelled when no waiter remains; its
+// error (including context expiry) propagates to every waiter of the
+// flight. A waiter whose own ctx fires leaves early with ctx's error.
+func (g *flightGroup) do(ctx context.Context, key, check uint64, timeout time.Duration, fn func(context.Context) (cdg.Report, error)) (cdg.Report, bool, error) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		if c.check == check {
+			c.refs++
+			g.mu.Unlock()
+			return g.wait(ctx, c, false)
+		}
+		g.mu.Unlock()
+		// Dual-hash collision: a distinct verification shares the 64-bit
+		// map key. Compute alone rather than coalesce onto (or displace)
+		// the other flight — correctness over sharing.
+		cctx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		rep, err := fn(cctx)
+		return rep, true, err
+	}
+	c := &flightCall{check: check, done: make(chan struct{}), refs: 1}
+	base, cancel := context.WithCancel(context.Background())
+	c.cancel = cancel
+	g.m[key] = c
+	g.mu.Unlock()
+	go func() {
+		fctx, fcancel := context.WithTimeout(base, timeout)
+		rep, err := fn(fctx)
+		fcancel()
+		cancel()
+		g.mu.Lock()
+		c.rep, c.err = rep, err
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	return g.wait(ctx, c, true)
+}
+
+// wait blocks until the flight completes or the waiter's own context
+// fires. A departing waiter drops its reference; the last one out
+// cancels the compute — nobody is left to use the result.
+func (g *flightGroup) wait(ctx context.Context, c *flightCall, leader bool) (cdg.Report, bool, error) {
+	select {
+	case <-c.done:
+		return c.rep, leader, c.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.refs--
+		abandon := c.refs == 0
+		g.mu.Unlock()
+		if abandon {
+			c.cancel()
+		}
+		return cdg.Report{}, leader, ctx.Err()
+	}
+}

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ebda/internal/cdg"
+)
+
+// gatedFn returns a compute function that signals when it starts and
+// blocks until released, counting invocations.
+type gatedFn struct {
+	started chan struct{}
+	release chan struct{}
+	mu      sync.Mutex
+	calls   int
+}
+
+func newGatedFn() *gatedFn {
+	return &gatedFn{started: make(chan struct{}, 16), release: make(chan struct{})}
+}
+
+func (g *gatedFn) fn(rep cdg.Report) func(context.Context) (cdg.Report, error) {
+	return func(ctx context.Context) (cdg.Report, error) {
+		g.mu.Lock()
+		g.calls++
+		g.mu.Unlock()
+		g.started <- struct{}{}
+		select {
+		case <-g.release:
+			return rep, nil
+		case <-ctx.Done():
+			return cdg.Report{}, ctx.Err()
+		}
+	}
+}
+
+func (g *gatedFn) callCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.calls
+}
+
+func TestFlightCoalescesIdenticalKeys(t *testing.T) {
+	fg := newFlightGroup()
+	gate := newGatedFn()
+	want := cdg.Report{Network: "mesh 6x6", Channels: 4, Acyclic: true}
+
+	type out struct {
+		rep    cdg.Report
+		leader bool
+		err    error
+	}
+	results := make(chan out, 2)
+	go func() {
+		rep, leader, err := fg.do(context.Background(), 1, 2, time.Minute, gate.fn(want))
+		results <- out{rep, leader, err}
+	}()
+	<-gate.started // the leader is computing
+
+	go func() {
+		rep, leader, err := fg.do(context.Background(), 1, 2, time.Minute, gate.fn(want))
+		results <- out{rep, leader, err}
+	}()
+	// The joiner must not start a second computation; give it a moment
+	// to (wrongly) do so before releasing the leader.
+	for deadline := 0; ; deadline++ {
+		fg.mu.Lock()
+		refs := 0
+		if c, ok := fg.m[1]; ok {
+			refs = c.refs
+		}
+		fg.mu.Unlock()
+		if refs == 2 {
+			break
+		}
+		if deadline > 1000 {
+			t.Fatal("joiner never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate.release)
+
+	leaders := 0
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("flight error: %v", r.err)
+		}
+		if r.rep.Network != want.Network || !r.rep.Acyclic {
+			t.Fatalf("wrong report: %+v", r.rep)
+		}
+		if r.leader {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("got %d leaders, want exactly 1", leaders)
+	}
+	if n := gate.callCount(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+}
+
+func TestFlightCollisionComputesAlone(t *testing.T) {
+	fg := newFlightGroup()
+	gate := newGatedFn()
+	go fg.do(context.Background(), 7, 100, time.Minute, gate.fn(cdg.Report{}))
+	<-gate.started
+
+	// Same key, different check hash: a dual-hash collision must not
+	// share the other flight's verdict.
+	rep, leader, err := fg.do(context.Background(), 7, 200, time.Minute,
+		func(ctx context.Context) (cdg.Report, error) {
+			return cdg.Report{Channels: 9}, nil
+		})
+	if err != nil || !leader || rep.Channels != 9 {
+		t.Fatalf("collision path: rep=%+v leader=%v err=%v", rep, leader, err)
+	}
+	close(gate.release)
+}
+
+func TestFlightWaiterLeavesOnOwnDeadline(t *testing.T) {
+	fg := newFlightGroup()
+	gate := newGatedFn()
+	want := cdg.Report{Channels: 3}
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := fg.do(context.Background(), 3, 4, time.Minute, gate.fn(want))
+		done <- err
+	}()
+	<-gate.started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, leader, err := fg.do(ctx, 3, 4, time.Minute, gate.fn(want))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled joiner err = %v", err)
+	}
+	if leader {
+		t.Fatal("joiner reported itself leader")
+	}
+
+	// The leader is unaffected by the joiner's departure.
+	close(gate.release)
+	if err := <-done; err != nil {
+		t.Fatalf("leader err after joiner left: %v", err)
+	}
+	if n := gate.callCount(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+}
+
+func TestFlightAbandonedWhenAllWaitersLeave(t *testing.T) {
+	fg := newFlightGroup()
+	computeCtx := make(chan context.Context, 1)
+	started := make(chan struct{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := fg.do(ctx, 5, 6, time.Minute, func(fctx context.Context) (cdg.Report, error) {
+			computeCtx <- fctx
+			close(started)
+			<-fctx.Done()
+			return cdg.Report{}, fctx.Err()
+		})
+		done <- err
+	}()
+	<-started
+	cancel() // the only waiter leaves
+
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("departing leader err = %v", err)
+	}
+	// With no waiter left, the flight cancels its compute context.
+	fctx := <-computeCtx
+	select {
+	case <-fctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("compute context never cancelled after all waiters left")
+	}
+}

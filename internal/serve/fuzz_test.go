@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeVerifyRequest drives the API's decode + validation surface
+// with arbitrary bodies. Properties: never panic, never accept a request
+// that violates the admission limits, and accepted requests survive a
+// marshal/decode round trip (the wire form is canonical).
+func FuzzDecodeVerifyRequest(f *testing.F) {
+	seeds := []string{
+		`{"network":{"kind":"mesh","sizes":[6,6]},"chain":"PA[X+ X- Y-] -> PB[Y+]"}`,
+		`{"network":{"kind":"torus","sizes":[4,4]},"turns":"X+>Y+,X+>Y-"}`,
+		`{"network":{"kind":"mesh","sizes":[3,3,3]},"chain":"PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]","no_ui_turns":true}`,
+		`{"network":{"kind":"mesh","sizes":[64,64]},"chain":"PA[X+]"}`,
+		`{"network":{"kind":"ring","sizes":[8]},"chain":"PA[X+]"}`,
+		`{"network":{"kind":"mesh","sizes":[1,1]},"turns":"X+>Y+"}`,
+		`{"network":{"kind":"mesh","sizes":[4,4]},"chain":"PA[X+]","turns":"X+>Y+"}`,
+		`{"network":{"kind":"mesh","sizes":[4,4]}}`,
+		`{}`,
+		``,
+		`not json`,
+		`[1,2,3]`,
+		`{"network":{"kind":"mesh","sizes":[4,4]},"chain":"PA[X+ X- Y-] -> PB[Y+]"} trailing`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	nets := newNetworkCache()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeVerifyRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted requests are within the admission envelope.
+		if err := req.Network.validate(); err != nil {
+			t.Fatalf("accepted request fails network validation: %v", err)
+		}
+		if (req.Chain == "") == (req.Turns == "") {
+			t.Fatalf("accepted request has chain=%q turns=%q", req.Chain, req.Turns)
+		}
+		// The wire form round-trips.
+		wire, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not re-marshal: %v", err)
+		}
+		again, err := DecodeVerifyRequest(bytes.NewReader(wire))
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, wire)
+		}
+		if !reflect.DeepEqual(again, req) {
+			t.Fatalf("round trip changed the request: %+v vs %+v", req, again)
+		}
+		// build may reject the design (parse errors are data-dependent)
+		// but must not panic, and network construction stays within the
+		// validated envelope.
+		if b, err := req.build(nets); err == nil {
+			if b.net.Nodes() > maxNodes {
+				t.Fatalf("built network exceeds node cap: %d", b.net.Nodes())
+			}
+		}
+	})
+}

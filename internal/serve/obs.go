@@ -1,0 +1,42 @@
+package serve
+
+import "ebda/internal/obs"
+
+// Serving-layer instrumentation, hoisted to package variables so
+// handlers never touch the registry. Invariants worth alerting on:
+// verdicts{cache}+verdicts{computed}+verdicts{coalesced} equals the
+// verifications answered 2xx; queue depth returns to zero when idle;
+// rejected{queue_full}/rejected{draining} are the 429/503 counts.
+// Per-endpoint latency comes from the serve.* phases, which feed the
+// shared ebda_phase_duration_seconds histograms.
+var (
+	obsReqVerify = obs.NewCounter(obs.Label("ebda_serve_requests_total", "endpoint", "verify"),
+		"requests received by /v1/verify")
+	obsReqDesign = obs.NewCounter(obs.Label("ebda_serve_requests_total", "endpoint", "design"),
+		"requests received by /v1/design")
+	obsReqBatch = obs.NewCounter(obs.Label("ebda_serve_requests_total", "endpoint", "batch"),
+		"requests received by /v1/batch")
+
+	obsVerdictCache = obs.NewCounter(obs.Label("ebda_serve_verdicts_total", "provenance", "cache"),
+		"verdicts answered from the verify cache")
+	obsVerdictComputed = obs.NewCounter(obs.Label("ebda_serve_verdicts_total", "provenance", "computed"),
+		"verdicts computed by the answering request")
+	obsVerdictCoalesced = obs.NewCounter(obs.Label("ebda_serve_verdicts_total", "provenance", "coalesced"),
+		"verdicts shared from another request's in-flight computation")
+
+	obsRejectBad = obs.NewCounter(obs.Label("ebda_serve_rejected_total", "reason", "bad_request"),
+		"requests rejected by decode or validation (400)")
+	obsRejectQueue = obs.NewCounter(obs.Label("ebda_serve_rejected_total", "reason", "queue_full"),
+		"requests rejected by a full admission queue (429)")
+	obsRejectDrain = obs.NewCounter(obs.Label("ebda_serve_rejected_total", "reason", "draining"),
+		"requests rejected while draining (503)")
+	obsRejectDeadline = obs.NewCounter(obs.Label("ebda_serve_rejected_total", "reason", "deadline"),
+		"requests abandoned at their deadline (504)")
+
+	obsQueueDepth = obs.NewGauge("ebda_serve_queue_depth",
+		"verifications admitted and waiting for a worker")
+
+	phaseServeVerify = obs.NewPhase("serve.verify", "")
+	phaseServeDesign = obs.NewPhase("serve.design", "")
+	phaseServeBatch  = obs.NewPhase("serve.batch", "")
+)

@@ -1,0 +1,422 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"ebda/internal/cdg"
+	"ebda/internal/partstrat"
+)
+
+// Backpressure sentinels. Handlers map them to HTTP statuses
+// (ErrQueueFull -> 429, ErrDraining -> 503); embedders that submit work
+// directly can test for them with errors.Is.
+var (
+	ErrQueueFull = errors.New("serve: admission queue full")
+	ErrDraining  = errors.New("serve: server draining")
+)
+
+// Config sizes the admission pipeline.
+type Config struct {
+	// Workers is the verification worker pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds verifications admitted but not yet running
+	// (default 64). Past it, requests get 429.
+	QueueDepth int
+	// Timeout bounds each request end to end (default 10s). It also
+	// bounds a coalesced flight's computation.
+	Timeout time.Duration
+	// Jobs is the intra-verification parallelism handed to the engine
+	// (default 1: the pool parallelizes across requests, so per-request
+	// parallelism only helps when the server is idle).
+	Jobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.Jobs <= 0 {
+		c.Jobs = 1
+	}
+	return c
+}
+
+// Server is the verification service: decoded requests are admitted to a
+// bounded queue, executed by a fixed worker pool through the cached
+// context-aware verify path, and coalesced through a singleflight group.
+// Create with New, mount with Register, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	nets    *networkCache
+	cache   *cdg.VerifyCache
+	flight  *flightGroup
+	queue   chan func()
+	workers sync.WaitGroup
+
+	mu       sync.RWMutex
+	draining bool
+}
+
+// New starts the worker pool and returns a ready server. It serves
+// through cdg.DefaultCache, so verdicts are shared with any in-process
+// engine user.
+func New(cfg Config) *Server {
+	return newServer(cfg, cdg.DefaultCache)
+}
+
+// newServer is New against an explicit cache (tests isolate themselves
+// from the process-wide one).
+func newServer(cfg Config, cache *cdg.VerifyCache) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		nets:   newNetworkCache(),
+		cache:  cache,
+		flight: newFlightGroup(),
+		queue:  make(chan func(), cfg.QueueDepth),
+	}
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go func() {
+			defer s.workers.Done()
+			for task := range s.queue {
+				task()
+			}
+		}()
+	}
+	return s
+}
+
+// Register mounts the API on mux.
+func (s *Server) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/v1/verify", s.handleVerify)
+	mux.HandleFunc("/v1/design", s.handleDesign)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+}
+
+// Ready reports whether the server accepts new work; it is the /readyz
+// gate. It flips false permanently once Shutdown begins.
+func (s *Server) Ready() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return !s.draining
+}
+
+// Shutdown drains the server: new submissions get ErrDraining (503)
+// immediately, queued and running verifications finish, and the worker
+// pool exits. It returns when the pool is idle or ctx fires, and is safe
+// to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		// No submitter can be sending now: submit holds the read lock
+		// across its check-and-send, and every lock acquired after the
+		// write above observes draining.
+		close(s.queue)
+	}
+	idle := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// submit admits one task to the queue without blocking: a full queue is
+// load the server must shed, not buffer.
+func (s *Server) submit(task func()) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		return ErrDraining
+	}
+	select {
+	case s.queue <- task:
+		obsQueueDepth.Add(1)
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Verdict provenance values (the VerifyResponse.Provenance field).
+const (
+	provCache     = "cache"
+	provComputed  = "computed"
+	provCoalesced = "coalesced"
+)
+
+// verdict produces one verification verdict: cache probe first, then a
+// coalesced flight whose leader computes on a queue worker. The
+// provenance string reports which path answered.
+func (s *Server) verdict(ctx context.Context, b *builtVerify) (cdg.Report, string, error) {
+	if rep, ok := s.cache.Lookup(b.net, b.vcs, b.ts); ok {
+		obsVerdictCache.Inc()
+		return rep, provCache, nil
+	}
+	key, check := cdg.VerifyKey(b.net, b.vcs, b.ts)
+	rep, leader, err := s.flight.do(ctx, key, check, s.cfg.Timeout, func(fctx context.Context) (cdg.Report, error) {
+		return s.compute(fctx, b)
+	})
+	if err != nil {
+		return cdg.Report{}, "", err
+	}
+	if leader {
+		obsVerdictComputed.Inc()
+		return rep, provComputed, nil
+	}
+	obsVerdictCoalesced.Inc()
+	return rep, provCoalesced, nil
+}
+
+// compute runs one verification on a queue worker under ctx, reporting
+// admission failures to the caller.
+func (s *Server) compute(ctx context.Context, b *builtVerify) (cdg.Report, error) {
+	type result struct {
+		rep cdg.Report
+		err error
+	}
+	res := make(chan result, 1)
+	err := s.submit(func() {
+		obsQueueDepth.Add(-1)
+		rep, err := s.cache.VerifyTurnSetCtx(ctx, b.net, b.vcs, b.ts, s.cfg.Jobs)
+		res <- result{rep, err}
+	})
+	if err != nil {
+		return cdg.Report{}, err
+	}
+	select {
+	case r := <-res:
+		return r.rep, r.err
+	case <-ctx.Done():
+		// The queued task still runs (quickly, its context is dead) and
+		// parks its result in the buffered channel for the collector.
+		return cdg.Report{}, ctx.Err()
+	}
+}
+
+// statusFor maps pipeline errors to HTTP statuses and counts the
+// rejection.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		obsRejectQueue.Inc()
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		obsRejectDrain.Inc()
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		obsRejectDeadline.Inc()
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; nobody reads this response.
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}
+
+// respond builds the response body for one verdict.
+func respond(b *builtVerify, rep cdg.Report, prov string, key uint64) *VerifyResponse {
+	n90, nU, nI := b.ts.Counts()
+	resp := &VerifyResponse{
+		Network:    b.net.String(),
+		Channels:   rep.Channels,
+		Edges:      rep.Edges,
+		Acyclic:    rep.Acyclic,
+		Turns:      TurnCounts{Deg90: n90, U: nU, I: nI},
+		Provenance: prov,
+		Key:        strconv.FormatUint(key, 16),
+	}
+	if !rep.Acyclic {
+		resp.Cycle = cdg.FormatCycle(rep.Cycle)
+	}
+	return resp
+}
+
+// verifyOne runs one built request end to end.
+func (s *Server) verifyOne(ctx context.Context, b *builtVerify) (*VerifyResponse, int, error) {
+	rep, prov, err := s.verdict(ctx, b)
+	if err != nil {
+		return nil, statusFor(err), err
+	}
+	key, _ := cdg.VerifyKey(b.net, b.vcs, b.ts)
+	return respond(b, rep, prov, key), http.StatusOK, nil
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	obsReqVerify.Inc()
+	sp := phaseServeVerify.Start()
+	defer sp.End()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	req, err := DecodeVerifyRequest(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err != nil {
+		obsRejectBad.Inc()
+		writeError(w, http.StatusBadRequest, sanitizeErr(err))
+		return
+	}
+	b, err := req.build(s.nets)
+	if err != nil {
+		obsRejectBad.Inc()
+		writeError(w, http.StatusBadRequest, sanitizeErr(err))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	resp, status, err := s.verifyOne(ctx, b)
+	if err != nil {
+		writeError(w, status, sanitizeErr(err))
+		return
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
+	obsReqDesign.Inc()
+	sp := phaseServeDesign.Start()
+	defer sp.End()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req DesignRequest
+	if err := decodeStrict(http.MaxBytesReader(w, r.Body, MaxBodyBytes), &req); err != nil {
+		obsRejectBad.Inc()
+		writeError(w, http.StatusBadRequest, sanitizeErr(err))
+		return
+	}
+	if err := req.validate(); err != nil {
+		obsRejectBad.Inc()
+		writeError(w, http.StatusBadRequest, sanitizeErr(err))
+		return
+	}
+	chains, err := partstrat.Derive(partstrat.ArrangementFor(req.VCs))
+	if err != nil {
+		obsRejectBad.Inc()
+		writeError(w, http.StatusBadRequest, sanitizeErr(err))
+		return
+	}
+	max := req.Max
+	if max <= 0 || max > maxDesignOptions {
+		max = maxDesignOptions
+	}
+	net := req.designNet(s.nets)
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	resp := DesignResponse{Network: net.String(), Derived: len(chains)}
+	for _, chain := range chains {
+		if len(resp.Options) >= max {
+			break
+		}
+		b := &builtVerify{
+			net: net,
+			vcs: cdg.VCConfigFor(net.Dims(), chain.Channels()),
+			ts:  chain.AllTurns(),
+		}
+		rep, prov, err := s.verdict(ctx, b)
+		if err != nil {
+			writeError(w, statusFor(err), sanitizeErr(err))
+			return
+		}
+		resp.Options = append(resp.Options, DesignOption{
+			Chain:      chain.PlainString(),
+			Channels:   rep.Channels,
+			Acyclic:    rep.Acyclic,
+			Provenance: prov,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	obsReqBatch.Inc()
+	sp := phaseServeBatch.Start()
+	defer sp.End()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req BatchRequest
+	if err := decodeStrict(http.MaxBytesReader(w, r.Body, MaxBodyBytes), &req); err != nil {
+		obsRejectBad.Inc()
+		writeError(w, http.StatusBadRequest, sanitizeErr(err))
+		return
+	}
+	if len(req.Requests) == 0 {
+		obsRejectBad.Inc()
+		writeError(w, http.StatusBadRequest, "requests is empty")
+		return
+	}
+	if len(req.Requests) > maxBatch {
+		obsRejectBad.Inc()
+		writeError(w, http.StatusBadRequest,
+			"batch has "+strconv.Itoa(len(req.Requests))+" requests, limit "+strconv.Itoa(maxBatch))
+		return
+	}
+	// One deadline covers the whole batch; items run in request order so
+	// a batch's results are deterministic (repeats after the first hit
+	// the cache). Per-item failures stay per-item — a batch is a
+	// convenience wrapper, not a transaction.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	resp := BatchResponse{Results: make([]BatchResult, len(req.Requests))}
+	for i := range req.Requests {
+		item := &req.Requests[i]
+		if err := item.validate(); err != nil {
+			resp.Results[i] = BatchResult{Error: sanitizeErr(err), Status: http.StatusBadRequest}
+			continue
+		}
+		b, err := item.build(s.nets)
+		if err != nil {
+			resp.Results[i] = BatchResult{Error: sanitizeErr(err), Status: http.StatusBadRequest}
+			continue
+		}
+		ok, status, err := s.verifyOne(ctx, b)
+		if err != nil {
+			resp.Results[i] = BatchResult{Error: sanitizeErr(err), Status: status}
+			continue
+		}
+		resp.Results[i] = BatchResult{OK: ok}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
