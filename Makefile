@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-diff repro fmt vet lint obs-smoke serve-smoke fuzz-short check clean
+.PHONY: all build test race bench bench-json bench-diff bench-delta repro fmt vet lint obs-smoke serve-smoke fuzz-short check clean
 
 all: check
 
@@ -28,6 +28,15 @@ OLD ?= BENCH_verify.json
 bench-diff:
 	$(GO) run ./cmd/ebda-repro -quick -benchjson BENCH_new.json
 	$(GO) run ./cmd/ebda-benchdiff $(OLD) BENCH_new.json
+
+# Measure incremental (delta) verification against from-scratch verifies
+# — every diff is equivalence-checked before timing — and hold the fresh
+# snapshot against the committed one. The single-link case must stay at
+# or below 5% of full-verify cost (ebda-benchdiff's -delta-ratio gate).
+OLD_DELTA ?= BENCH_delta.json
+bench-delta:
+	$(GO) run ./cmd/ebda-deltabench -out BENCH_delta_new.json
+	$(GO) run ./cmd/ebda-benchdiff $(OLD_DELTA) BENCH_delta_new.json
 
 # Regenerate every table and figure of the paper (paper-vs-measured).
 repro:

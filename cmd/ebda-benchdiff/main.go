@@ -1,9 +1,10 @@
 // Command ebda-benchdiff compares two perf snapshots and fails when they
-// regress. It understands both snapshot families and dispatches on the
-// "kind" field: engine snapshots (BENCH_verify.json, written by
-// `make bench-json`, no kind) and serving snapshots (BENCH_serve.json,
-// written by ebda-loadgen, kind "serve"). Mixing the two is a usage
-// error.
+// regress. It understands the repo's snapshot families and dispatches on
+// the "kind" field: engine snapshots (BENCH_verify.json, written by
+// `make bench-json`, no kind), serving snapshots (BENCH_serve.json,
+// written by ebda-loadgen, kind "serve") and incremental-verification
+// snapshots (BENCH_delta.json, written by ebda-deltabench, kind
+// "delta"). Mixing kinds is a usage error.
 //
 // Engine diff: experiments are matched by ID and CDG cases by network
 // name; entries present in only one snapshot are reported but never fail
@@ -21,6 +22,24 @@
 // the baseline p99 is below -minp99 milliseconds — micro-benchmark noise,
 // not signal.
 //
+// Delta diff: cases are matched by name and compared on their
+// delta/full cost ratio, which self-normalizes away machine speed. The
+// gates are absolute, because delta costs are microsecond-scale and
+// their run-to-run jitter makes relative comparisons meaningless:
+// single-link cases must stay under the -delta-ratio gate (default
+// 0.05: incremental re-verification at most 5% of a from-scratch
+// verification, the tentpole acceptance criterion), no case's
+// incremental path may cost more than its full path (ratio above 1),
+// and a case whose diffs all fell back to full peels measured nothing
+// and fails outright. The relative grow column is informational only.
+//
+// Every ratio-style check is guarded against zero-valued baselines: a
+// baseline entry whose wall time, hit rate, throughput or cost ratio is
+// zero carries no signal (quick-mode BENCH_verify.json rows have
+// cache_hit_rate 0, a degenerate serve snapshot has throughput 0), so
+// the comparison reports "skip (zero baseline)" instead of dividing by
+// zero or minting a spurious ok/regression.
+//
 // Usage:
 //
 //	ebda-benchdiff old.json new.json
@@ -36,7 +55,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
+	"ebda/internal/cdg"
 	"ebda/internal/experiments"
 	"ebda/internal/serve"
 )
@@ -57,6 +78,7 @@ func run(argv []string, out, errw io.Writer) int {
 	p99Grow := fs.Float64("p99-grow", 1.25, "serve snapshots: fail when new/old p99 latency ratio exceeds this")
 	tputDrop := fs.Float64("tput-drop", 0.25, "serve snapshots: fail when throughput drops by more than this fraction")
 	minP99 := fs.Float64("minp99", 1.0, "serve snapshots: ignore the latency check when the baseline p99 is below this many ms")
+	deltaRatio := fs.Float64("delta-ratio", 0.05, "delta snapshots: fail when a single-link case's delta/full ratio exceeds this")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -91,6 +113,13 @@ func run(argv []string, out, errw io.Writer) int {
 	}
 	if oldKind == serve.BenchKind {
 		return diffServe(out, errw, fs.Arg(0), fs.Arg(1), oldRaw, newRaw, *p99Grow, *tputDrop, *minP99)
+	}
+	if oldKind == cdg.DeltaBenchKind {
+		return diffDelta(out, errw, fs.Arg(0), fs.Arg(1), oldRaw, newRaw, *deltaRatio)
+	}
+	if oldKind != "" {
+		fmt.Fprintf(errw, "ebda-benchdiff: unknown snapshot kind %q\n", oldKind)
+		return 2
 	}
 
 	oldB, err := load(fs.Arg(0), oldRaw)
@@ -167,6 +196,8 @@ func diffRows(w io.Writer, oldRows, newRows []row, threshold, minWall float64) i
 		}
 		status := "ok"
 		switch {
+		case o.wall == 0:
+			status = "skip (zero baseline)"
 		case o.wall < minWall:
 			status = "skip (below minwall)"
 		case ratio > threshold:
@@ -224,7 +255,12 @@ func diffHitRates(w io.Writer, oldB, newB experiments.Bench, maxDrop float64) in
 		}
 		drop := o.rate() - n.rate()
 		status := "ok"
-		if drop > maxDrop {
+		switch {
+		case o.rate() == 0:
+			// A baseline that never hit (quick-mode rows have
+			// cache_hit_rate 0) has no rate to regress from.
+			status = "skip (zero baseline)"
+		case drop > maxDrop:
 			status = "REGRESSION"
 			regressions++
 		}
@@ -270,6 +306,77 @@ func orEngine(kind string) string {
 	return "a " + kind + " snapshot"
 }
 
+// diffDelta compares two incremental-verification snapshots. Cases match
+// by name; each is judged on its delta/full cost ratio (machine-speed
+// independent): relative growth beyond threshold regresses, single-link
+// cases are additionally held to the absolute deltaRatio gate, and a
+// case with no incremental verifications measured nothing.
+func diffDelta(out, errw io.Writer, oldPath, newPath string, oldRaw, newRaw []byte, deltaRatio float64) int {
+	oldB, err := cdg.ReadDeltaBench(oldRaw)
+	if err != nil {
+		fmt.Fprintf(errw, "ebda-benchdiff: %s: %v\n", oldPath, err)
+		return 2
+	}
+	newB, err := cdg.ReadDeltaBench(newRaw)
+	if err != nil {
+		fmt.Fprintf(errw, "ebda-benchdiff: %s: %v\n", newPath, err)
+		return 2
+	}
+	fmt.Fprintf(out, "old: %s (%s, jobs=%d, rounds=%d)\n", oldPath, oldB.GoVersion, oldB.Jobs, oldB.Rounds)
+	fmt.Fprintf(out, "new: %s (%s, jobs=%d, rounds=%d)\n", newPath, newB.GoVersion, newB.Jobs, newB.Rounds)
+
+	byName := make(map[string]cdg.DeltaBenchCase, len(oldB.Cases))
+	for _, c := range oldB.Cases {
+		byName[c.Name] = c
+	}
+	regressions := 0
+	for _, n := range newB.Cases {
+		o, ok := byName[n.Name]
+		if !ok {
+			fmt.Fprintf(out, "  %-24s only in new snapshot\n", n.Name)
+			continue
+		}
+		delete(byName, n.Name)
+		grow := 0.0
+		if o.Ratio > 0 {
+			grow = n.Ratio / o.Ratio
+		}
+		// Delta costs are microsecond-scale, so the delta/full ratio
+		// jitters by whole multiples between runs on a loaded machine;
+		// the grow column is printed for humans but never gated. The
+		// machine-independent invariants are absolute: single-link
+		// re-verifies stay under the -delta-ratio ceiling, and no
+		// incremental re-verify may cost more than a from-scratch one.
+		status := "ok"
+		switch {
+		case n.Incremental == 0:
+			status = "REGRESSION (no incremental verifications measured)"
+			regressions++
+		case strings.Contains(n.Name, "single-link") && n.Ratio > deltaRatio:
+			status = fmt.Sprintf("REGRESSION (ratio above %.2f gate)", deltaRatio)
+			regressions++
+		case n.Ratio > 1:
+			status = "REGRESSION (incremental slower than full verify)"
+			regressions++
+		case o.Ratio == 0:
+			status = "skip (zero baseline)"
+		}
+		fmt.Fprintf(out, "  %-24s ratio %6.4f -> %6.4f  (%5.2fx)  delta %8.0f -> %8.0f ns  %s\n",
+			n.Name, o.Ratio, n.Ratio, grow, o.DeltaNanos, n.DeltaNanos, status)
+	}
+	for _, o := range oldB.Cases {
+		if _, ok := byName[o.Name]; ok {
+			fmt.Fprintf(out, "  %-24s only in old snapshot\n", o.Name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(out, "\n%d regression(s)\n", regressions)
+		return 1
+	}
+	fmt.Fprintln(out, "\nno incremental-verification regressions")
+	return 0
+}
+
 // diffServe compares two serving-layer snapshots: p99 latency growth,
 // throughput drop and the 5xx count.
 func diffServe(out, errw io.Writer, oldPath, newPath string, oldRaw, newRaw []byte, p99Grow, tputDrop, minP99 float64) int {
@@ -296,6 +403,8 @@ func diffServe(out, errw io.Writer, oldPath, newPath string, oldRaw, newRaw []by
 	}
 	status := "ok"
 	switch {
+	case oldB.P99Millis == 0:
+		status = "skip (zero baseline)"
 	case oldB.P99Millis < minP99:
 		status = "skip (below minp99)"
 	case p99Ratio > p99Grow:
@@ -311,7 +420,10 @@ func diffServe(out, errw io.Writer, oldPath, newPath string, oldRaw, newRaw []by
 		drop = (oldB.ThroughputRPS - newB.ThroughputRPS) / oldB.ThroughputRPS
 	}
 	status = "ok"
-	if drop > tputDrop {
+	switch {
+	case oldB.ThroughputRPS == 0:
+		status = "skip (zero baseline)"
+	case drop > tputDrop:
 		status = "REGRESSION"
 		regressions++
 	}

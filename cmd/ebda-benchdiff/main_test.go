@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"ebda/internal/cdg"
 	"ebda/internal/experiments"
 	"ebda/internal/serve"
 )
@@ -335,5 +336,194 @@ func TestMixedKindsRejected(t *testing.T) {
 	}
 	if !strings.Contains(errw.String(), "kinds differ") {
 		t.Errorf("missing kind mismatch message: %s", errw.String())
+	}
+}
+
+// deltaSnapshot builds a delta fixture with the two standard cases at
+// the given ratios (a 100µs full baseline scales the absolute costs).
+func deltaSnapshot(linkRatio, toggleRatio float64, incremental uint64) cdg.DeltaBench {
+	mk := func(name string, ratio float64) cdg.DeltaBenchCase {
+		const fullNS = 100_000.0
+		return cdg.DeltaBenchCase{
+			Name: name, Network: "8x8 mesh",
+			FullNanos: fullNS, DeltaNanos: ratio * fullNS, Ratio: ratio,
+			Incremental: incremental,
+		}
+	}
+	return cdg.DeltaBench{
+		Kind: cdg.DeltaBenchKind, GoVersion: "go1.24", NumCPU: 8, Jobs: 1, Rounds: 256,
+		Cases: []cdg.DeltaBenchCase{
+			mk("mesh8x8/single-link", linkRatio),
+			mk("mesh8x8/turn-toggle", toggleRatio),
+		},
+	}
+}
+
+// writeDeltaSnapshot marshals b into dir and returns the file path.
+func writeDeltaSnapshot(t *testing.T, dir, name string, b cdg.DeltaBench) string {
+	t.Helper()
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDeltaEqualSnapshots diffs a delta snapshot against itself: clean.
+func TestDeltaEqualSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	old := writeDeltaSnapshot(t, dir, "old.json", deltaSnapshot(0.02, 0.5, 256))
+	cur := writeDeltaSnapshot(t, dir, "new.json", deltaSnapshot(0.02, 0.5, 256))
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; output:\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "no incremental-verification regressions") {
+		t.Errorf("missing clean verdict:\n%s", out.String())
+	}
+}
+
+// TestDeltaRatioJitterTolerated: relative ratio movement is never gated
+// (microsecond-scale delta costs jitter by whole multiples between
+// runs), so even a 1.5x grow passes while the absolute gates hold.
+func TestDeltaRatioJitterTolerated(t *testing.T) {
+	dir := t.TempDir()
+	old := writeDeltaSnapshot(t, dir, "old.json", deltaSnapshot(0.02, 0.5, 256))
+	cur := writeDeltaSnapshot(t, dir, "new.json", deltaSnapshot(0.03, 0.75, 256)) // 1.5x both
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "1.50x") {
+		t.Errorf("grow column should still report the movement:\n%s", out.String())
+	}
+}
+
+// TestDeltaSlowerThanFullFails: an incremental path that costs more
+// than its from-scratch baseline (ratio above 1) is a defect in any
+// case, gated or not.
+func TestDeltaSlowerThanFullFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeDeltaSnapshot(t, dir, "old.json", deltaSnapshot(0.02, 0.5, 256))
+	cur := writeDeltaSnapshot(t, dir, "new.json", deltaSnapshot(0.02, 1.3, 256))
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 1 {
+		t.Fatalf("run = %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "incremental slower than full verify") {
+		t.Errorf("missing slower-than-full REGRESSION row:\n%s", out.String())
+	}
+}
+
+// TestDeltaAbsoluteGate holds single-link cases to the -delta-ratio
+// ceiling even when old and new agree.
+func TestDeltaAbsoluteGate(t *testing.T) {
+	dir := t.TempDir()
+	old := writeDeltaSnapshot(t, dir, "old.json", deltaSnapshot(0.08, 0.5, 256))
+	cur := writeDeltaSnapshot(t, dir, "new.json", deltaSnapshot(0.08, 0.5, 256))
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 1 {
+		t.Fatalf("run = %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "gate") {
+		t.Errorf("missing gate REGRESSION row:\n%s", out.String())
+	}
+	// Loosening the gate clears it; the toggle case is never gated.
+	out.Reset()
+	if code := run([]string{"-delta-ratio", "0.10", old, cur}, &out, &errw); code != 0 {
+		t.Fatalf("-delta-ratio 0.10: run = %d, want 0; output:\n%s", code, out.String())
+	}
+}
+
+// TestDeltaZeroBaselineSkipped: a baseline case with ratio 0 carries no
+// signal, so any new ratio is reported as a skip, not a regression.
+func TestDeltaZeroBaselineSkipped(t *testing.T) {
+	dir := t.TempDir()
+	old := writeDeltaSnapshot(t, dir, "old.json", deltaSnapshot(0.0, 0.0, 256))
+	cur := writeDeltaSnapshot(t, dir, "new.json", deltaSnapshot(0.02, 0.5, 256))
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "skip (zero baseline)") {
+		t.Errorf("missing zero-baseline skip:\n%s", out.String())
+	}
+}
+
+// TestDeltaNoIncrementalFails: a snapshot whose diffs all fell back to
+// full peels measured nothing and must fail the diff.
+func TestDeltaNoIncrementalFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeDeltaSnapshot(t, dir, "old.json", deltaSnapshot(0.02, 0.5, 256))
+	cur := writeDeltaSnapshot(t, dir, "new.json", deltaSnapshot(0.02, 0.5, 0))
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 1 {
+		t.Fatalf("run = %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "no incremental verifications") {
+		t.Errorf("missing no-incremental REGRESSION row:\n%s", out.String())
+	}
+}
+
+// TestDeltaMixedKindsRejected refuses delta-vs-serve diffs.
+func TestDeltaMixedKindsRejected(t *testing.T) {
+	dir := t.TempDir()
+	del := writeDeltaSnapshot(t, dir, "delta.json", deltaSnapshot(0.02, 0.5, 256))
+	srv := writeServeSnapshot(t, dir, "serve.json", serveSnapshot(20, 500, 0))
+	var out, errw bytes.Buffer
+	if code := run([]string{del, srv}, &out, &errw); code != 2 {
+		t.Fatalf("mixed kinds: run = %d, want 2; stderr: %s", code, errw.String())
+	}
+}
+
+// TestZeroWallBaselineSkipped: a baseline row with wall time 0 is
+// skipped explicitly even when -minwall is disabled.
+func TestZeroWallBaselineSkipped(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json", snapshot(0.0, 0.5))
+	cur := writeSnapshot(t, dir, "new.json", snapshot(3.0, 0.5))
+	var out, errw bytes.Buffer
+	if code := run([]string{"-minwall", "0", old, cur}, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "skip (zero baseline)") {
+		t.Errorf("missing zero-baseline skip:\n%s", out.String())
+	}
+}
+
+// TestHitRateZeroBaselineSkipped: quick-mode rows carry hit rate 0 with
+// real miss traffic; they have no rate to regress from.
+func TestHitRateZeroBaselineSkipped(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json", cacheSnapshot(0, 10)) // rate 0, traffic 10
+	cur := writeSnapshot(t, dir, "new.json", cacheSnapshot(5, 5))
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "skip (zero baseline)") {
+		t.Errorf("missing zero-baseline skip:\n%s", out.String())
+	}
+}
+
+// TestServeZeroThroughputBaselineSkipped: a degenerate baseline with 0
+// throughput cannot anchor a drop ratio.
+func TestServeZeroThroughputBaselineSkipped(t *testing.T) {
+	dir := t.TempDir()
+	oldB := serveSnapshot(20, 500, 0)
+	oldB.ThroughputRPS = 0
+	oldB.WallSeconds = 0
+	old := writeServeSnapshot(t, dir, "old.json", oldB)
+	cur := writeServeSnapshot(t, dir, "new.json", serveSnapshot(20, 500, 0))
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "skip (zero baseline)") {
+		t.Errorf("missing zero-baseline skip:\n%s", out.String())
 	}
 }

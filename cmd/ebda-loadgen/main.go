@@ -5,9 +5,11 @@
 //
 // The workload mixes hot requests (a small set of repeated designs that
 // exercise the verify cache), cold requests (fresh shapes that compute),
-// batches, design-family requests and deliberately invalid bodies. A
-// final burst phase fires identical concurrent requests at a fresh shape
-// until at least one response reports coalesced provenance.
+// batches, design-family requests, deliberately invalid bodies and —
+// after one base verification pins its cache key — seeded single-link
+// delta requests against /v1/verify/delta. A final burst phase fires
+// identical concurrent requests at a fresh shape until at least one
+// response reports coalesced provenance.
 //
 // With -addr empty the generator starts an in-process server (same code
 // path as ebda-serve) on a loopback port, which also lets it probe the
@@ -19,6 +21,9 @@
 //   - repeated identical requests return byte-identical verdicts
 //     (provenance aside)
 //   - every invalid request is rejected with a 4xx
+//   - at least one incrementally computed delta verdict, and delta
+//     verdicts byte-identical to from-scratch re-verifications of the
+//     derived faulty networks
 //
 // Usage examples:
 //
@@ -42,9 +47,13 @@ import (
 	"sync"
 	"time"
 
+	"ebda/internal/cdg"
+	"ebda/internal/channel"
+	"ebda/internal/core"
 	"ebda/internal/obs"
 	"ebda/internal/obs/obshttp"
 	"ebda/internal/serve"
+	"ebda/internal/topology"
 )
 
 func main() {
@@ -64,9 +73,9 @@ type result struct {
 	latencyMS float64
 	// provenance tallies across the verdicts the response carried (a
 	// batch or design response carries several).
-	cache, computed, coalesced int
-	item5xx                    int
-	invalid                    bool
+	cache, computed, coalesced, delta int
+	item5xx                           int
+	invalid                           bool
 }
 
 func run(argv []string, out, errw io.Writer) int {
@@ -106,8 +115,16 @@ func run(argv []string, out, errw io.Writer) int {
 	baseURL := "http://" + base
 	client := &http.Client{Timeout: 60 * time.Second}
 
+	// Phase 0: one base verification pins the delta base's cache key, so
+	// the mix's delta requests can assert it. An empty key (e.g. an old
+	// server without the delta endpoint) degrades the mix to no deltas.
+	baseKey, bkErr := fetchBaseKey(client, baseURL)
+	if bkErr != nil {
+		fmt.Fprintln(errw, "ebda-loadgen: base verify for delta key failed:", bkErr)
+	}
+
 	// Phase 1: the seeded mix, spread over conc workers.
-	reqs := generate(*seed, *requests)
+	reqs := generate(*seed, *requests, baseKey)
 	start := time.Now() //ebda:allow detlint the load generator measures wall latency by design
 	results := make([]result, len(reqs))
 	var wg sync.WaitGroup
@@ -162,6 +179,11 @@ func run(argv []string, out, errw io.Writer) int {
 	// cache vs computed) is cleared.
 	deterministic, detErr := identicalVerdicts(client, baseURL)
 
+	// Phase 3b: delta equivalence — single-link delta verdicts must be
+	// byte-identical to from-scratch verifications of the derived faulty
+	// networks, computed locally through the cached engine.
+	deltaOK, deltaMsg := deltaEquivalence(client, baseURL, baseKey)
+
 	// Phase 4 (in-process only): the drain contract. /readyz answers 200
 	// while serving and 503 once shutdown begins.
 	drainOK := true
@@ -198,11 +220,12 @@ func run(argv []string, out, errw io.Writer) int {
 		b.Cache += r.cache
 		b.Computed += r.computed
 		b.Coalesced += r.coalesced
+		b.Deltas += r.delta
 		if r.invalid && (r.status < 400 || r.status >= 500) {
 			invalidBad++
 		}
 	}
-	if total := b.Cache + b.Computed + b.Coalesced; total > 0 {
+	if total := b.Cache + b.Computed + b.Coalesced + b.Deltas; total > 0 {
 		b.CoalesceRate = float64(b.Coalesced) / float64(total)
 	}
 	if wall > 0 {
@@ -230,7 +253,8 @@ func run(argv []string, out, errw io.Writer) int {
 	}
 
 	fmt.Fprintf(out, "requests %d  2xx %d  4xx %d  5xx %d\n", b.Requests, b.Status2xx, b.Status4xx, b.Status5xx)
-	fmt.Fprintf(out, "verdicts: cache %d  computed %d  coalesced %d (rate %.3f)\n", b.Cache, b.Computed, b.Coalesced, b.CoalesceRate)
+	fmt.Fprintf(out, "verdicts: cache %d  computed %d  coalesced %d  delta %d (coalesce rate %.3f)\n",
+		b.Cache, b.Computed, b.Coalesced, b.Deltas, b.CoalesceRate)
 	fmt.Fprintf(out, "latency: p50 %.2fms  p99 %.2fms  throughput %.1f req/s\n", b.P50Millis, b.P99Millis, b.ThroughputRPS)
 
 	if *smoke {
@@ -250,6 +274,12 @@ func run(argv []string, out, errw io.Writer) int {
 		}
 		if invalidBad != 0 {
 			fail("%d invalid requests were not rejected with a 4xx", invalidBad)
+		}
+		if b.Deltas < 1 {
+			fail("no delta verdict was computed incrementally")
+		}
+		if !deltaOK {
+			fail("delta equivalence: %s", deltaMsg)
 		}
 		if !drainOK {
 			fail("drain contract: %s", drainMsg)
@@ -304,18 +334,30 @@ var coldChains = []string{
 	"PA[X1+ Y1+ Y1-] -> PB[X1- Y2+ Y2-]",
 }
 
-// generate builds the deterministic request mix for a seed: roughly half
-// hot, a quarter cold, the rest split between batches, design families
-// and invalid bodies.
-func generate(seed uint64, n int) []genReq {
+// deltaBase is the design the delta requests perturb: hotBodies[0], the
+// 8x8-mesh north-last chain.
+const deltaBaseBody = `{"network":{"kind":"mesh","sizes":[8,8]},"chain":"PA[X+ X- Y-] -> PB[Y+]"}`
+
+// generate builds the deterministic request mix for a seed: roughly 45%
+// hot, a quarter cold, the rest split between batches, design families,
+// single-link deltas (when a base key is pinned) and invalid bodies.
+func generate(seed uint64, n int, baseKey string) []genReq {
 	rng := rand.New(rand.NewSource(int64(seed)))
 	reqs := make([]genReq, 0, n)
 	for i := 0; i < n; i++ {
 		switch p := rng.Intn(100); {
-		case p < 50:
+		case p < 45:
 			reqs = append(reqs, genReq{path: "/v1/verify", body: hotBodies[rng.Intn(len(hotBodies))]})
-		case p < 75:
+		case p < 70:
 			reqs = append(reqs, genReq{path: "/v1/verify", body: coldBody(rng)})
+		case p < 80:
+			body := deltaBody(rng, baseKey)
+			if baseKey == "" {
+				// No pinned base key (old server): fall back to a hot hit.
+				reqs = append(reqs, genReq{path: "/v1/verify", body: hotBodies[rng.Intn(len(hotBodies))]})
+				continue
+			}
+			reqs = append(reqs, genReq{path: "/v1/verify/delta", body: body})
 		case p < 85:
 			items := make([]string, 2+rng.Intn(3))
 			for j := range items {
@@ -334,6 +376,17 @@ func generate(seed uint64, n int) []genReq {
 		}
 	}
 	return reqs
+}
+
+// deltaBody draws one single-link removal against the pinned base: the
+// source node stays off the mesh boundary so every direction names a
+// real link. The rng draws happen even when baseKey is empty, keeping
+// the request stream deterministic per seed across server versions.
+func deltaBody(rng *rand.Rand, baseKey string) string {
+	x, y := 1+rng.Intn(6), 1+rng.Intn(6)
+	dir := []string{"X+", "X-", "Y+", "Y-"}[rng.Intn(4)]
+	return fmt.Sprintf(`{"base":%s,"base_key":"%s","remove_links":[{"at":[%d,%d],"dir":"%s"}]}`,
+		deltaBaseBody, baseKey, x, y, dir)
 }
 
 // coldBody draws a fresh-ish shape: sizes in [2,32] so the burst phase's
@@ -373,6 +426,11 @@ func doReq(client *http.Client, baseURL string, r genReq) result {
 		if json.Unmarshal(body, &v) == nil {
 			res.tally(v.Provenance)
 		}
+	case "/v1/verify/delta":
+		var d serve.DeltaResponse
+		if json.Unmarshal(body, &d) == nil {
+			res.tally(d.Provenance)
+		}
 	case "/v1/batch":
 		var b serve.BatchResponse
 		if json.Unmarshal(body, &b) == nil {
@@ -403,7 +461,96 @@ func (r *result) tally(provenance string) {
 		r.computed++
 	case "coalesced":
 		r.coalesced++
+	case "delta":
+		r.delta++
 	}
+}
+
+// fetchBaseKey verifies the delta base design once and returns its cache
+// key, pinning the identity the delta requests assert via base_key.
+func fetchBaseKey(client *http.Client, baseURL string) (string, error) {
+	resp, err := client.Post(baseURL+"/v1/verify", "application/json", strings.NewReader(deltaBaseBody))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var v serve.VerifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return "", err
+	}
+	if v.Key == "" {
+		return "", fmt.Errorf("base verify returned no cache key")
+	}
+	return v.Key, nil
+}
+
+// deltaEquivalence posts a handful of fixed single-link deltas and
+// compares each verdict byte-for-byte against a from-scratch cached
+// verification of the derived faulty network, computed locally with the
+// same engine the server embeds.
+func deltaEquivalence(client *http.Client, baseURL, baseKey string) (bool, string) {
+	if baseKey == "" {
+		return false, "no base key pinned (base verify failed?)"
+	}
+	net := topology.NewMesh(8, 8)
+	chain, err := core.ParseChain("PA[X+ X- Y-] -> PB[Y+]")
+	if err != nil {
+		return false, err.Error()
+	}
+	ts := chain.Turns(core.DefaultTurnOptions)
+	vcs := cdg.VCConfigFor(net.Dims(), chain.Channels())
+	checks := []struct {
+		x, y int
+		dir  string
+		d    channel.Dim
+		sign channel.Sign
+	}{
+		{2, 3, "X+", 0, channel.Plus},
+		{5, 1, "Y-", 1, channel.Minus},
+		{0, 0, "X+", 0, channel.Plus},
+		{6, 6, "Y+", 1, channel.Plus},
+	}
+	for _, c := range checks {
+		body := fmt.Sprintf(`{"base":%s,"base_key":"%s","remove_links":[{"at":[%d,%d],"dir":"%s"}]}`,
+			deltaBaseBody, baseKey, c.x, c.y, c.dir)
+		resp, err := client.Post(baseURL+"/v1/verify/delta", "application/json", strings.NewReader(body))
+		if err != nil {
+			return false, err.Error()
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return false, fmt.Sprintf("link (%d,%d)%s: status %d: %s", c.x, c.y, c.dir, resp.StatusCode, raw)
+		}
+		var got serve.DeltaResponse
+		if err := json.Unmarshal(raw, &got); err != nil {
+			return false, err.Error()
+		}
+
+		link, ok := net.FindLink(net.ID(topology.Coord{c.x, c.y}), c.d, c.sign)
+		if !ok {
+			return false, fmt.Sprintf("link (%d,%d)%s missing from the local mesh", c.x, c.y, c.dir)
+		}
+		want := cdg.VerifyTurnSetCached(net.WithoutLinks([]topology.Link{link}), vcs, ts)
+		exp := serve.DeltaResponse{
+			Network: want.Network, Channels: want.Channels, Edges: want.Edges, Acyclic: want.Acyclic,
+		}
+		if !want.Acyclic {
+			exp.Cycle = cdg.FormatCycle(want.Cycle)
+		}
+		// Byte-for-byte over the verdict fields: provenance and keys are
+		// transport metadata, not verdict.
+		got.Provenance, got.Key, got.BaseKey = "", "", ""
+		a, _ := json.Marshal(got)
+		b, _ := json.Marshal(exp)
+		if !bytes.Equal(a, b) {
+			return false, fmt.Sprintf("link (%d,%d)%s: delta %s != full %s", c.x, c.y, c.dir, a, b)
+		}
+	}
+	return true, ""
 }
 
 // identicalVerdicts posts the same request twice sequentially and

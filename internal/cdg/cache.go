@@ -225,6 +225,93 @@ func (c *VerifyCache) VerifyTurnSetCtx(ctx context.Context, net *topology.Networ
 	return rep, nil
 }
 
+// DeltaKey derives the cache identity of a delta verification: the base
+// verification's dual-hash key mixed with the diff's canonical
+// fingerprint. Like VerifyKey it is stable across processes and jobs
+// values, so serving layers coalesce concurrent identical deltas onto one
+// computation. Delta entries live in the same cache map as full
+// verifications; the seeds keep the two key families decorrelated and the
+// check hash catches any residual collision.
+func DeltaKey(net *topology.Network, vcs VCConfig, ts *core.TurnSet, diff Diff) (key, check uint64) {
+	const (
+		deltaSeedA = 0x71c3a9d0f54bd137
+		deltaSeedB = 0x3c79ac492ba7b653
+	)
+	bk, bc := verifyKey(net, vcs, ts)
+	f1, f2 := diff.Fingerprint()
+	key = mix64(bk ^ mix64(f1^deltaSeedA))
+	check = mix64(bc*0x100000001b3 + mix64(f2^deltaSeedB))
+	return key, check
+}
+
+// LookupDelta probes the cache for a delta verdict without computing on a
+// miss, with the same hit/miss accounting contract as Lookup: a hit counts
+// as cache traffic, a miss counts nothing.
+func (c *VerifyCache) LookupDelta(net *topology.Network, vcs VCConfig, ts *core.TurnSet, diff Diff) (Report, bool) {
+	key, check := DeltaKey(net, vcs, ts, diff)
+	c.mu.RLock()
+	e, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok && e.check == check {
+		c.hits.Add(1)
+		obsCacheHits.Inc()
+		return e.rep, true
+	}
+	return Report{}, false
+}
+
+// VerifyDeltaCtx returns the memoized report of the base design perturbed
+// by the diff, computing it on a miss through a pooled DeltaWorkspace
+// (jobs <= 0 means all cores) — the cache-layer delta entry point serving
+// code must use. A hit is answered even when ctx has expired; a miss that
+// is cancelled (or whose diff is invalid) returns the error and stores
+// nothing. Reports are bit-identical to a from-scratch verification of the
+// perturbed design for every jobs value.
+func (c *VerifyCache) VerifyDeltaCtx(ctx context.Context, net *topology.Network, vcs VCConfig, ts *core.TurnSet, diff Diff, jobs int) (Report, error) {
+	key, check := DeltaKey(net, vcs, ts, diff)
+	c.mu.RLock()
+	e, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok && e.check == check {
+		c.hits.Add(1)
+		obsCacheHits.Inc()
+		return e.rep, nil
+	}
+	c.misses.Add(1)
+	obsCacheMisses.Inc()
+	dw, err := DefaultDeltaPool.GetCtx(ctx, net, vcs, ts, jobs)
+	if err != nil {
+		return Report{}, err
+	}
+	rep, err := dw.VerifyDiffCtx(ctx, diff, jobs)
+	DefaultDeltaPool.Put(dw)
+	if err != nil {
+		return Report{}, err
+	}
+	c.mu.Lock()
+	if c.m == nil || len(c.m) >= maxCacheEntries {
+		if n := len(c.m); n > 0 {
+			c.evictions.Add(uint64(n))
+			obsCacheEvictions.Add(uint64(n))
+		}
+		c.m = make(map[uint64]cacheEntry)
+	}
+	c.m[key] = cacheEntry{check: check, rep: rep}
+	obsCacheEntries.Set(int64(len(c.m)))
+	c.mu.Unlock()
+	return rep, nil
+}
+
+// VerifyDeltaJobs is VerifyDeltaCtx without a deadline.
+func (c *VerifyCache) VerifyDeltaJobs(net *topology.Network, vcs VCConfig, ts *core.TurnSet, diff Diff, jobs int) (Report, error) {
+	return c.VerifyDeltaCtx(context.Background(), net, vcs, ts, diff, jobs)
+}
+
+// VerifyDeltaCached is VerifyDeltaJobs through the DefaultCache.
+func VerifyDeltaCached(net *topology.Network, vcs VCConfig, ts *core.TurnSet, diff Diff) (Report, error) {
+	return DefaultCache.VerifyDeltaJobs(net, vcs, ts, diff, 0)
+}
+
 // VerifyTurnSetCached is VerifyTurnSet through the DefaultCache.
 func VerifyTurnSetCached(net *topology.Network, vcs VCConfig, ts *core.TurnSet) Report {
 	return DefaultCache.VerifyTurnSetJobs(net, vcs, ts, 0)

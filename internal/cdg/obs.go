@@ -28,6 +28,17 @@ var (
 	obsCacheEntries = obs.NewGauge("ebda_verify_cache_entries",
 		"live entries in the default verify cache")
 
+	obsDeltaVerifies = obs.NewCounter("ebda_cdg_delta_verifies_total",
+		"delta verifications run through retained workspaces")
+	obsDeltaIncremental = obs.NewCounter("ebda_cdg_delta_incremental_total",
+		"delta verifications answered by the incremental region re-peel")
+	obsDeltaFallbacks = obs.NewCounter("ebda_cdg_delta_fallbacks_total",
+		"delta verifications that fell back to a full peel of the patched graph")
+	obsDeltaPoolGets = obs.NewCounter("ebda_delta_pool_gets_total",
+		"delta workspace pool checkouts")
+	obsDeltaPoolReuses = obs.NewCounter("ebda_delta_pool_reuses_total",
+		"delta workspace pool checkouts satisfied from the free list")
+
 	obsPoolGets = obs.NewCounter("ebda_workspace_pool_gets_total",
 		"workspace pool checkouts")
 	obsPoolReuses = obs.NewCounter("ebda_workspace_pool_reuses_total",
@@ -40,4 +51,5 @@ var (
 	phaseVerify = obs.NewPhase("cdg.verify", "")
 	phaseEdges  = obs.NewPhase("cdg.addTurnEdges", "cdg.verify")
 	phaseAcycl  = obs.NewPhase("cdg.acyclicity", "cdg.verify")
+	phaseDelta  = obs.NewPhase("cdg.delta", "")
 )

@@ -333,6 +333,36 @@ func (m *AllowMatrix) AllowsAny(from, to []int32) bool {
 	return false
 }
 
+// Clone returns a deep copy of the set: same turns (with labels) and the
+// same declared classes. The memoized matrix is not shared; the clone
+// builds its own on first use. Delta verification clones the base relation
+// before toggling turns so the base set stays untouched.
+func (s *TurnSet) Clone() *TurnSet {
+	c := NewTurnSet()
+	for key, src := range s.turns {
+		c.turns[key] = src
+	}
+	for cls := range s.declared {
+		c.declared[cls] = true
+	}
+	return c
+}
+
+// Remove deletes the turn from one class to another and reports whether it
+// was present. Both endpoint classes stay declared — removing a turn
+// narrows the transition relation without shrinking the design's channel
+// class set, which keeps interned class tables (and the VC configuration
+// they imply) stable across turn-toggle deltas.
+func (s *TurnSet) Remove(from, to channel.Class) bool {
+	key := [2]channel.Class{from, to}
+	if _, ok := s.turns[key]; !ok {
+		return false
+	}
+	s.invalidate()
+	delete(s.turns, key)
+	return true
+}
+
 // Union returns a new set containing the turns and declared classes of
 // both sets.
 func (s *TurnSet) Union(o *TurnSet) *TurnSet {

@@ -45,6 +45,53 @@ func workspaceVerdict(ctx context.Context, net *topology.Network, ts *core.TurnS
 	return ws.VerifyTurnSetCtx(ctx, ts, 1) // want `workspace verify call cdg.Workspace.VerifyTurnSetCtx`
 }
 
+// deltaWorkspaceVerdict builds a retained delta workspace by hand; in a
+// serving package the verdict would bypass the delta cache.
+func deltaWorkspaceVerdict(net *topology.Network, ts *core.TurnSet, diff cdg.Diff) (cdg.Report, error) {
+	dw, err := cdg.NewDeltaWorkspace(net, nil, ts) // want `direct delta workspace construction cdg.NewDeltaWorkspace in`
+	if err != nil {
+		return cdg.Report{}, err
+	}
+	return dw.VerifyDiffJobs(diff, 1) // want `delta workspace verify call cdg.DeltaWorkspace.VerifyDiffJobs`
+}
+
+// deltaWorkspaceCtx is the context-threading variant of the same bypass.
+func deltaWorkspaceCtx(ctx context.Context, net *topology.Network, ts *core.TurnSet, diff cdg.Diff) (cdg.Report, error) {
+	dw, err := cdg.NewDeltaWorkspaceCtx(ctx, net, nil, ts, 1) // want `direct delta workspace construction cdg.NewDeltaWorkspaceCtx in`
+	if err != nil {
+		return cdg.Report{}, err
+	}
+	return dw.VerifyDiffCtx(ctx, diff, 1) // want `delta workspace verify call cdg.DeltaWorkspace.VerifyDiffCtx`
+}
+
+// deltaPoolVerdict checks a workspace out of the shared pool directly,
+// skipping the memoizing delta cache entry.
+func deltaPoolVerdict(ctx context.Context, net *topology.Network, ts *core.TurnSet, diff cdg.Diff) (cdg.Report, error) {
+	dw, err := cdg.DefaultDeltaPool.GetCtx(ctx, net, nil, ts, 1) // want `delta pool checkout cdg.DeltaPool.GetCtx`
+	if err != nil {
+		return cdg.Report{}, err
+	}
+	defer cdg.DefaultDeltaPool.Put(dw)
+	return dw.VerifyDiffCtx(ctx, diff, 1) // want `delta workspace verify call cdg.DeltaWorkspace.VerifyDiffCtx`
+}
+
+// cachedDeltaVerdict is the blessed serving path for incremental
+// verdicts: LookupDelta for hits, the cache's delta compute for misses.
+func cachedDeltaVerdict(ctx context.Context, c *cdg.VerifyCache, net *topology.Network, ts *core.TurnSet, diff cdg.Diff) (cdg.Report, error) {
+	if rep, ok := c.LookupDelta(net, nil, ts, diff); ok {
+		return rep, nil
+	}
+	return c.VerifyDeltaCtx(ctx, net, nil, ts, diff, 1)
+}
+
+// cachedDeltaHelpers shows the other sanctioned delta entry points: the
+// delta identity for coalescing and the process-wide cached wrapper.
+func cachedDeltaHelpers(net *topology.Network, ts *core.TurnSet, diff cdg.Diff) (uint64, error) {
+	key, _ := cdg.DeltaKey(net, nil, ts, diff)
+	_, err := cdg.VerifyDeltaCached(net, nil, ts, diff)
+	return key, err
+}
+
 // cachedVerdict is the blessed serving path: Lookup for hits, then the
 // cache's context-aware compute for misses.
 func cachedVerdict(ctx context.Context, c *cdg.VerifyCache, net *topology.Network, ts *core.TurnSet) (cdg.Report, error) {

@@ -26,7 +26,12 @@ const cdgPath = "ebda/internal/cdg"
 // and identical across requests. In those packages the uncached pooled
 // entry points (cdg.VerifyTurnSet / VerifyTurnSetJobs / VerifyTurnSetCtx,
 // VerifyChain, VerifyRelation, BuildFromTurnSet and the Workspace verify
-// methods) are also forbidden.
+// methods) are also forbidden. The same contract covers incremental
+// verdicts: serving code reaches them only through the cache-layer delta
+// entry points (VerifyCache.LookupDelta / VerifyDeltaCtx and friends),
+// never by constructing a cdg.DeltaWorkspace, checking one out of a
+// cdg.DeltaPool, or calling its Verify methods directly — a bypassed
+// delta verdict would be unmemoized and uncoalescible.
 //
 // Diagnostic tooling that genuinely needs the raw graph (DOT export,
 // topological witnesses) may carry //ebda:allow verifygate with a
@@ -50,6 +55,13 @@ var uncachedVerifyFuncs = map[string]bool{
 	"VerifyTurnSet": true, "VerifyTurnSetJobs": true, "VerifyTurnSetCtx": true,
 	"VerifyChain": true, "VerifyRelation": true, "VerifyRelationJobs": true,
 	"BuildFromTurnSet": true, "BuildFromTurnSetJobs": true,
+}
+
+// deltaBypassFuncs construct retained delta workspaces directly,
+// bypassing the delta cache entry and the shared workspace pool —
+// forbidden in serving packages.
+var deltaBypassFuncs = map[string]bool{
+	"NewDeltaWorkspace": true, "NewDeltaWorkspaceCtx": true,
 }
 
 // servingPkg reports whether an import path carries the serving-layer
@@ -80,6 +92,9 @@ func runVerifygate(pass *Pass) error {
 					if serving && uncachedVerifyFuncs[fn.Name()] {
 						pass.Reportf(x.Pos(), "uncached verify call cdg.%s in a serving package; served verdicts must flow through the verify cache (VerifyCache.Lookup / VerifyTurnSetCtx or the Cached entry points)", fn.Name())
 					}
+					if serving && deltaBypassFuncs[fn.Name()] {
+						pass.Reportf(x.Pos(), "direct delta workspace construction cdg.%s in a serving package; served delta verdicts must flow through the delta cache entry points (VerifyCache.LookupDelta / VerifyDeltaCtx)", fn.Name())
+					}
 					return true
 				}
 				recv := recvNamed(sig.Recv().Type())
@@ -88,6 +103,12 @@ func runVerifygate(pass *Pass) error {
 				}
 				if serving && recv == "Workspace" && strings.HasPrefix(fn.Name(), "Verify") {
 					pass.Reportf(x.Pos(), "workspace verify call cdg.Workspace.%s in a serving package; served verdicts must flow through the verify cache", fn.Name())
+				}
+				if serving && recv == "DeltaWorkspace" && strings.HasPrefix(fn.Name(), "Verify") {
+					pass.Reportf(x.Pos(), "delta workspace verify call cdg.DeltaWorkspace.%s in a serving package; served delta verdicts must flow through the delta cache entry points (VerifyCache.LookupDelta / VerifyDeltaCtx)", fn.Name())
+				}
+				if serving && recv == "DeltaPool" && strings.HasPrefix(fn.Name(), "Get") {
+					pass.Reportf(x.Pos(), "delta pool checkout cdg.DeltaPool.%s in a serving package; served delta verdicts must flow through the delta cache entry points (VerifyCache.LookupDelta / VerifyDeltaCtx)", fn.Name())
 				}
 			case *ast.CompositeLit:
 				// The zero value cdg.Report{} carries no verdict (error

@@ -52,6 +52,10 @@ const (
 	maxSpecLen = 4096
 	// maxDesignOptions caps how many derived options /v1/design verifies.
 	maxDesignOptions = 32
+	// maxDeltaLinks bounds the link removals a delta request may name. The
+	// incremental path stays cheap only while the dirty region is small, so
+	// admitting huge diffs would just be a slow spelling of /v1/verify.
+	maxDeltaLinks = 8
 )
 
 // NetworkSpec names a concrete network: a regular mesh or torus with
@@ -123,6 +127,49 @@ type VerifyResponse struct {
 	Turns      TurnCounts `json:"turns"`
 	Provenance string     `json:"provenance"`
 	Key        string     `json:"key"`
+}
+
+// LinkSpec names one unidirectional link by its source node coordinate
+// and direction, e.g. {"at": [3, 2], "dir": "X+"}.
+type LinkSpec struct {
+	At  []int  `json:"at"`
+	Dir string `json:"dir"`
+}
+
+// DeltaRequest asks for the verdict of a base design perturbed by a
+// small structural diff: removed links and/or toggled turns. The server
+// answers through the retained delta workspace pool, re-peeling only the
+// dirty region, and memoizes under the (base key, diff fingerprint)
+// delta cache identity.
+type DeltaRequest struct {
+	// Base selects the unperturbed design, exactly as /v1/verify would.
+	Base VerifyRequest `json:"base"`
+	// BaseKey optionally pins the base verification's cache key (the hex
+	// Key of a prior /v1/verify response). A mismatch against the key the
+	// server derives from Base is a 400: the client's cached baseline is
+	// not the design it thinks it is.
+	BaseKey string `json:"base_key,omitempty"`
+	// RemoveLinks lists unidirectional links to delete from the network.
+	RemoveLinks []LinkSpec `json:"remove_links,omitempty"`
+	// DisableTurns / EnableTurns are turn lists ("X+>Y+,...") toggled off
+	// and on relative to the base turn set.
+	DisableTurns string `json:"disable_turns,omitempty"`
+	EnableTurns  string `json:"enable_turns,omitempty"`
+}
+
+// DeltaResponse is a delta verdict. Provenance is "cache", "coalesced",
+// or "delta" (this request ran the incremental re-verification). Key is
+// the delta cache identity; BaseKey is the underlying full
+// verification's identity, usable as base_key in later requests.
+type DeltaResponse struct {
+	Network    string `json:"network"`
+	Channels   int    `json:"channels"`
+	Edges      int    `json:"edges"`
+	Acyclic    bool   `json:"acyclic"`
+	Cycle      string `json:"cycle,omitempty"`
+	Provenance string `json:"provenance"`
+	Key        string `json:"key"`
+	BaseKey    string `json:"base_key"`
 }
 
 // DesignRequest asks for the verified Algorithm 1/2 option family of a
@@ -257,6 +304,135 @@ func (req *VerifyRequest) build(nets *networkCache) (*builtVerify, error) {
 		}
 	}
 	return b, nil
+}
+
+// DecodeDeltaRequest parses and bounds-checks one delta request. Like
+// DecodeVerifyRequest it is pure decode + validation.
+func DecodeDeltaRequest(r io.Reader) (*DeltaRequest, error) {
+	var req DeltaRequest
+	if err := decodeStrict(r, &req); err != nil {
+		return nil, err
+	}
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// validate bounds-checks the request without resolving the network.
+func (req *DeltaRequest) validate() error {
+	if err := req.Base.validate(); err != nil {
+		return fmt.Errorf("base: %w", err)
+	}
+	if len(req.RemoveLinks) == 0 && req.DisableTurns == "" && req.EnableTurns == "" {
+		return errors.New("delta names no change: remove_links, disable_turns or enable_turns required")
+	}
+	if len(req.RemoveLinks) > maxDeltaLinks {
+		return fmt.Errorf("delta removes %d links, limit %d", len(req.RemoveLinks), maxDeltaLinks)
+	}
+	for i, l := range req.RemoveLinks {
+		if len(l.At) == 0 || len(l.At) > maxDims {
+			return fmt.Errorf("remove_links[%d].at has %d coordinates, want 1..%d", i, len(l.At), maxDims)
+		}
+		for _, c := range l.At {
+			if c < 0 || c >= maxSize {
+				return fmt.Errorf("remove_links[%d].at coordinate %d outside [0, %d)", i, c, maxSize)
+			}
+		}
+		if l.Dir == "" {
+			return fmt.Errorf("remove_links[%d].dir is required", i)
+		}
+	}
+	if len(req.DisableTurns) > maxSpecLen {
+		return fmt.Errorf("disable_turns is %d bytes, limit %d", len(req.DisableTurns), maxSpecLen)
+	}
+	if len(req.EnableTurns) > maxSpecLen {
+		return fmt.Errorf("enable_turns is %d bytes, limit %d", len(req.EnableTurns), maxSpecLen)
+	}
+	if len(req.BaseKey) > 16 {
+		return fmt.Errorf("base_key %q is not a 64-bit hex key", req.BaseKey)
+	}
+	return nil
+}
+
+// parseDir splits a direction spec ("X+", "Y-") into dimension and sign.
+func parseDir(s string) (channel.Dim, channel.Sign, error) {
+	if len(s) < 2 {
+		return 0, 0, fmt.Errorf("malformed direction %q (want e.g. X+)", s)
+	}
+	var sign channel.Sign
+	switch s[len(s)-1] {
+	case '+':
+		sign = channel.Plus
+	case '-':
+		sign = channel.Minus
+	default:
+		return 0, 0, fmt.Errorf("direction %q does not end in + or -", s)
+	}
+	d, err := channel.ParseDim(s[:len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return d, sign, nil
+}
+
+// buildDiff lowers the request's diff against the resolved base design.
+// Link and turn lists are deduplicated here so the canonical diff
+// fingerprint (which is duplicate-sensitive) identifies the set, not the
+// spelling.
+func (req *DeltaRequest) buildDiff(b *builtVerify) (cdg.Diff, error) {
+	var diff cdg.Diff
+	seenLinks := make(map[topology.Link]bool, len(req.RemoveLinks))
+	for i, spec := range req.RemoveLinks {
+		if len(spec.At) != b.net.Dims() {
+			return cdg.Diff{}, fmt.Errorf("remove_links[%d].at has %d coordinates, network has %d dimensions",
+				i, len(spec.At), b.net.Dims())
+		}
+		if !b.net.InBounds(topology.Coord(spec.At)) {
+			return cdg.Diff{}, fmt.Errorf("remove_links[%d].at %v outside the network", i, spec.At)
+		}
+		d, sign, err := parseDir(spec.Dir)
+		if err != nil {
+			return cdg.Diff{}, fmt.Errorf("remove_links[%d]: %w", i, err)
+		}
+		link, ok := b.net.FindLink(b.net.ID(spec.At), d, sign)
+		if !ok {
+			return cdg.Diff{}, fmt.Errorf("remove_links[%d]: no link from %v along %s", i, spec.At, spec.Dir)
+		}
+		if !seenLinks[link] {
+			seenLinks[link] = true
+			diff.RemoveLinks = append(diff.RemoveLinks, link)
+		}
+	}
+	var err error
+	if diff.DisableTurns, err = parseTurnToggles(req.DisableTurns); err != nil {
+		return cdg.Diff{}, fmt.Errorf("disable_turns: %w", err)
+	}
+	if diff.EnableTurns, err = parseTurnToggles(req.EnableTurns); err != nil {
+		return cdg.Diff{}, fmt.Errorf("enable_turns: %w", err)
+	}
+	return diff, nil
+}
+
+// parseTurnToggles parses a turn list and drops duplicate pairs.
+func parseTurnToggles(s string) ([]core.Turn, error) {
+	if s == "" {
+		return nil, nil
+	}
+	turns, err := core.ParseTurnList(s)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[[2]channel.Class]bool, len(turns))
+	out := turns[:0]
+	for _, t := range turns {
+		k := [2]channel.Class{t.From, t.To}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
+	}
+	return out, nil
 }
 
 // validate bounds-checks a design request.

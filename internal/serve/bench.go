@@ -28,8 +28,12 @@ type Bench struct {
 	Cache     int `json:"verdicts_cache"`
 	Computed  int `json:"verdicts_computed"`
 	Coalesced int `json:"verdicts_coalesced"`
-	// CoalesceRate is coalesced / (cache + computed + coalesced), over
-	// the verdicts the run observed (0 when it observed none).
+	// Deltas counts verdicts the /v1/verify/delta endpoint computed
+	// incrementally (provenance "delta"; cached or coalesced delta
+	// verdicts land in the fields above).
+	Deltas int `json:"verdicts_delta"`
+	// CoalesceRate is coalesced over all verdicts the run observed (0
+	// when it observed none).
 	CoalesceRate float64 `json:"coalesce_rate"`
 
 	WallSeconds float64 `json:"wall_seconds"`

@@ -16,6 +16,8 @@ var (
 		"requests received by /v1/design")
 	obsReqBatch = obs.NewCounter(obs.Label("ebda_serve_requests_total", "endpoint", "batch"),
 		"requests received by /v1/batch")
+	obsReqDelta = obs.NewCounter(obs.Label("ebda_serve_requests_total", "endpoint", "delta"),
+		"requests received by /v1/verify/delta")
 
 	obsVerdictCache = obs.NewCounter(obs.Label("ebda_serve_verdicts_total", "provenance", "cache"),
 		"verdicts answered from the verify cache")
@@ -23,6 +25,8 @@ var (
 		"verdicts computed by the answering request")
 	obsVerdictCoalesced = obs.NewCounter(obs.Label("ebda_serve_verdicts_total", "provenance", "coalesced"),
 		"verdicts shared from another request's in-flight computation")
+	obsVerdictDelta = obs.NewCounter(obs.Label("ebda_serve_verdicts_total", "provenance", "delta"),
+		"verdicts computed incrementally through a retained delta workspace")
 
 	obsRejectBad = obs.NewCounter(obs.Label("ebda_serve_rejected_total", "reason", "bad_request"),
 		"requests rejected by decode or validation (400)")
@@ -37,6 +41,7 @@ var (
 		"verifications admitted and waiting for a worker")
 
 	phaseServeVerify = obs.NewPhase("serve.verify", "")
+	phaseServeDelta  = obs.NewPhase("serve.delta", "")
 	phaseServeDesign = obs.NewPhase("serve.design", "")
 	phaseServeBatch  = obs.NewPhase("serve.batch", "")
 )

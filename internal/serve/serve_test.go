@@ -146,7 +146,7 @@ func TestVerifyRejectsBadRequests(t *testing.T) {
 
 func TestEndpointsRejectGET(t *testing.T) {
 	_, ts := testServer(t, Config{})
-	for _, path := range []string{"/v1/verify", "/v1/design", "/v1/batch"} {
+	for _, path := range []string{"/v1/verify", "/v1/verify/delta", "/v1/design", "/v1/batch"} {
 		resp, err := ts.Client().Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)

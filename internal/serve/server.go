@@ -103,6 +103,7 @@ func newServer(cfg Config, cache *cdg.VerifyCache) *Server {
 // Register mounts the API on mux.
 func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("/v1/verify", s.handleVerify)
+	mux.HandleFunc("/v1/verify/delta", s.handleDelta)
 	mux.HandleFunc("/v1/design", s.handleDesign)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 }
@@ -165,6 +166,7 @@ const (
 	provCache     = "cache"
 	provComputed  = "computed"
 	provCoalesced = "coalesced"
+	provDelta     = "delta"
 )
 
 // verdict produces one verification verdict: cache probe first, then a
@@ -216,10 +218,61 @@ func (s *Server) compute(ctx context.Context, b *builtVerify) (cdg.Report, error
 	}
 }
 
+// deltaVerdict is verdict for a perturbed design: delta cache probe
+// first, then a coalesced flight keyed on the delta identity whose
+// leader runs the incremental re-verification on a queue worker. The
+// leader's provenance is "delta" — the verdict came from a retained
+// workspace's region re-peel, not a from-scratch verification.
+func (s *Server) deltaVerdict(ctx context.Context, b *builtVerify, diff cdg.Diff) (cdg.Report, string, error) {
+	if rep, ok := s.cache.LookupDelta(b.net, b.vcs, b.ts, diff); ok {
+		obsVerdictCache.Inc()
+		return rep, provCache, nil
+	}
+	key, check := cdg.DeltaKey(b.net, b.vcs, b.ts, diff)
+	rep, leader, err := s.flight.do(ctx, key, check, s.cfg.Timeout, func(fctx context.Context) (cdg.Report, error) {
+		return s.computeDelta(fctx, b, diff)
+	})
+	if err != nil {
+		return cdg.Report{}, "", err
+	}
+	if leader {
+		obsVerdictDelta.Inc()
+		return rep, provDelta, nil
+	}
+	obsVerdictCoalesced.Inc()
+	return rep, provCoalesced, nil
+}
+
+// computeDelta runs one delta verification on a queue worker under ctx.
+func (s *Server) computeDelta(ctx context.Context, b *builtVerify, diff cdg.Diff) (cdg.Report, error) {
+	type result struct {
+		rep cdg.Report
+		err error
+	}
+	res := make(chan result, 1)
+	err := s.submit(func() {
+		obsQueueDepth.Add(-1)
+		rep, err := s.cache.VerifyDeltaCtx(ctx, b.net, b.vcs, b.ts, diff, s.cfg.Jobs)
+		res <- result{rep, err}
+	})
+	if err != nil {
+		return cdg.Report{}, err
+	}
+	select {
+	case r := <-res:
+		return r.rep, r.err
+	case <-ctx.Done():
+		return cdg.Report{}, ctx.Err()
+	}
+}
+
 // statusFor maps pipeline errors to HTTP statuses and counts the
 // rejection.
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, cdg.ErrBadDiff):
+		obsRejectBad.Inc()
+		return http.StatusBadRequest
 	case errors.Is(err, ErrQueueFull):
 		obsRejectQueue.Inc()
 		return http.StatusTooManyRequests
@@ -309,6 +362,66 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	obsReqDelta.Inc()
+	sp := phaseServeDelta.Start()
+	defer sp.End()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	req, err := DecodeDeltaRequest(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err != nil {
+		obsRejectBad.Inc()
+		writeError(w, http.StatusBadRequest, sanitizeErr(err))
+		return
+	}
+	b, err := req.Base.build(s.nets)
+	if err != nil {
+		obsRejectBad.Inc()
+		writeError(w, http.StatusBadRequest, sanitizeErr(err))
+		return
+	}
+	baseKey, _ := cdg.VerifyKey(b.net, b.vcs, b.ts)
+	if req.BaseKey != "" {
+		want, perr := strconv.ParseUint(req.BaseKey, 16, 64)
+		if perr != nil || want != baseKey {
+			obsRejectBad.Inc()
+			writeError(w, http.StatusBadRequest,
+				"base_key "+req.BaseKey+" does not match the base design (key "+
+					strconv.FormatUint(baseKey, 16)+")")
+			return
+		}
+	}
+	diff, err := req.buildDiff(b)
+	if err != nil {
+		obsRejectBad.Inc()
+		writeError(w, http.StatusBadRequest, sanitizeErr(err))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	rep, prov, err := s.deltaVerdict(ctx, b, diff)
+	if err != nil {
+		writeError(w, statusFor(err), sanitizeErr(err))
+		return
+	}
+	key, _ := cdg.DeltaKey(b.net, b.vcs, b.ts, diff)
+	resp := &DeltaResponse{
+		Network:    rep.Network,
+		Channels:   rep.Channels,
+		Edges:      rep.Edges,
+		Acyclic:    rep.Acyclic,
+		Provenance: prov,
+		Key:        strconv.FormatUint(key, 16),
+		BaseKey:    strconv.FormatUint(baseKey, 16),
+	}
+	if !rep.Acyclic {
+		resp.Cycle = cdg.FormatCycle(rep.Cycle)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {

@@ -263,6 +263,22 @@ func (n *Network) HasLink(id NodeID, d channel.Dim, sign channel.Sign) bool {
 	return ok
 }
 
+// FindLink resolves the unidirectional link leaving id in direction
+// (d, sign) to its canonical Link value (To and Wrap filled in), or false
+// if no such link exists. Delta diffs identify faulty links by source and
+// direction; this helper normalises that identification to the same Link
+// values Links() enumerates.
+func (n *Network) FindLink(id NodeID, d channel.Dim, sign channel.Sign) (Link, bool) {
+	if int(id) < 0 || int(id) >= n.nodes || int(d) < 0 || int(d) >= len(n.dims) {
+		return Link{}, false
+	}
+	to, wrapped, ok := n.Neighbor(id, d, sign)
+	if !ok {
+		return Link{}, false
+	}
+	return Link{From: id, To: to, Dim: d, Sign: sign, Wrap: wrapped}, true
+}
+
 // Links returns every unidirectional physical link in the network, ordered
 // by source node, then dimension, then sign (+ before -). The list is
 // computed once and shared; the returned slice must not be modified.
