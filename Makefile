@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-diff bench-delta repro fmt vet lint obs-smoke serve-smoke fuzz-short check clean
+.PHONY: all build test race bench bench-json bench-diff bench-delta bench-cluster cluster-soak repro fmt vet lint obs-smoke serve-smoke fuzz-short check clean
 
 all: check
 
@@ -37,6 +37,24 @@ OLD_DELTA ?= BENCH_delta.json
 bench-delta:
 	$(GO) run ./cmd/ebda-deltabench -out BENCH_delta_new.json
 	$(GO) run ./cmd/ebda-benchdiff $(OLD_DELTA) BENCH_delta_new.json
+
+# Drive the in-process replica cluster through the shard ring (-smoke:
+# zero 5xx, peer and forward paths exercised, byte-identical verdicts
+# from every replica, snapshot warm starts answer from cache, scaling
+# at or above 0.75x per replica), write a fresh cluster snapshot and
+# hold it against the committed one (ebda-benchdiff's -cluster-scaling
+# gate: a 4-replica run must reach 3.0x).
+OLD_CLUSTER ?= BENCH_cluster.json
+bench-cluster:
+	$(GO) run ./cmd/ebda-loadgen -cluster -replicas 4 -smoke -out BENCH_cluster_new.json
+	$(GO) run ./cmd/ebda-benchdiff $(OLD_CLUSTER) BENCH_cluster_new.json
+
+# cluster-soak is bench-cluster's race-detector twin: the same 4-replica
+# smoke run compiled with -race, gating only the invariants (the race
+# build's walls still clear the relative scaling floor because baseline
+# and phases slow down together).
+cluster-soak:
+	$(GO) run -race ./cmd/ebda-loadgen -cluster -replicas 4 -smoke -out /dev/null
 
 # Regenerate every table and figure of the paper (paper-vs-measured).
 repro:

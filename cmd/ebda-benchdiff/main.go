@@ -33,6 +33,16 @@
 // and a case whose diffs all fell back to full peels measured nothing
 // and fails outright. The relative grow column is informational only.
 //
+// Cluster diff (BENCH_cluster.json, written by ebda-loadgen -cluster,
+// kind "cluster"): the scaling factor is gated absolutely — the new
+// snapshot's scaling_x must reach -cluster-scaling (default 3.0, the
+// 4-replica acceptance floor; scaled by replicas/4 for other sizes) —
+// because scaling is already a self-normalized ratio of walls from one
+// run. The routing paths must have been exercised (peer_hits and
+// forwards both non-zero), the 5xx count may not increase, and the
+// aggregate p99 / aggregate throughput move under the same relative
+// gates as the serve diff.
+//
 // Every ratio-style check is guarded against zero-valued baselines: a
 // baseline entry whose wall time, hit rate, throughput or cost ratio is
 // zero carries no signal (quick-mode BENCH_verify.json rows have
@@ -79,6 +89,7 @@ func run(argv []string, out, errw io.Writer) int {
 	tputDrop := fs.Float64("tput-drop", 0.25, "serve snapshots: fail when throughput drops by more than this fraction")
 	minP99 := fs.Float64("minp99", 1.0, "serve snapshots: ignore the latency check when the baseline p99 is below this many ms")
 	deltaRatio := fs.Float64("delta-ratio", 0.05, "delta snapshots: fail when a single-link case's delta/full ratio exceeds this")
+	clusterScaling := fs.Float64("cluster-scaling", 3.0, "cluster snapshots: fail when a 4-replica run's scaling_x is below this (scaled by replicas/4)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -116,6 +127,9 @@ func run(argv []string, out, errw io.Writer) int {
 	}
 	if oldKind == cdg.DeltaBenchKind {
 		return diffDelta(out, errw, fs.Arg(0), fs.Arg(1), oldRaw, newRaw, *deltaRatio)
+	}
+	if oldKind == serve.ClusterBenchKind {
+		return diffCluster(out, errw, fs.Arg(0), fs.Arg(1), oldRaw, newRaw, *clusterScaling, *p99Grow, *tputDrop, *minP99)
 	}
 	if oldKind != "" {
 		fmt.Fprintf(errw, "ebda-benchdiff: unknown snapshot kind %q\n", oldKind)
@@ -374,6 +388,102 @@ func diffDelta(out, errw io.Writer, oldPath, newPath string, oldRaw, newRaw []by
 		return 1
 	}
 	fmt.Fprintln(out, "\nno incremental-verification regressions")
+	return 0
+}
+
+// diffCluster compares two cluster snapshots. The scaling gate is
+// absolute and judged on the new snapshot alone: scaling_x is already a
+// within-run ratio of walls, so it needs no baseline to be meaningful.
+// The relative latency/throughput comparisons carry the serve diff's
+// zero-baseline and minp99 skip guards.
+func diffCluster(out, errw io.Writer, oldPath, newPath string, oldRaw, newRaw []byte, scalingGate, p99Grow, tputDrop, minP99 float64) int {
+	oldB, err := serve.ReadClusterBench(oldRaw)
+	if err != nil {
+		fmt.Fprintf(errw, "ebda-benchdiff: %s: %v\n", oldPath, err)
+		return 2
+	}
+	newB, err := serve.ReadClusterBench(newRaw)
+	if err != nil {
+		fmt.Fprintf(errw, "ebda-benchdiff: %s: %v\n", newPath, err)
+		return 2
+	}
+	fmt.Fprintf(out, "old: %s (%s, %d replicas, %d requests, seed %d)\n",
+		oldPath, oldB.GoVersion, oldB.Replicas, oldB.Requests, oldB.Seed)
+	fmt.Fprintf(out, "new: %s (%s, %d replicas, %d requests, seed %d)\n",
+		newPath, newB.GoVersion, newB.Replicas, newB.Requests, newB.Seed)
+	if oldB.Seed != newB.Seed || oldB.Requests != newB.Requests || oldB.Replicas != newB.Replicas {
+		fmt.Fprintln(out, "warning: snapshots ran different workloads; numbers are weak evidence")
+	}
+
+	regressions := 0
+	// The acceptance floor is stated for 4 replicas; other sizes are
+	// held to the same per-replica efficiency.
+	floor := scalingGate
+	if newB.Replicas != 4 && newB.Replicas > 0 {
+		floor = scalingGate * float64(newB.Replicas) / 4
+	}
+	status := "ok"
+	switch {
+	case newB.Replicas == 0:
+		status = "skip (zero baseline)"
+	case newB.ScalingX < floor:
+		status = fmt.Sprintf("REGRESSION (below %.2fx floor)", floor)
+		regressions++
+	}
+	fmt.Fprintf(out, "  %-14s %9.2fx  -> %9.2fx   %s\n", "scaling", oldB.ScalingX, newB.ScalingX, status)
+
+	status = "ok"
+	if newB.PeerHits == 0 || newB.Forwards == 0 {
+		status = "REGRESSION (routing path not exercised)"
+		regressions++
+	}
+	fmt.Fprintf(out, "  %-14s %6d/%4d -> %6d/%4d  %s\n",
+		"peer/forward", oldB.PeerHits, oldB.Forwards, newB.PeerHits, newB.Forwards, status)
+
+	p99Ratio := 0.0
+	if oldB.AggP99Millis > 0 {
+		p99Ratio = newB.AggP99Millis / oldB.AggP99Millis
+	}
+	status = "ok"
+	switch {
+	case oldB.AggP99Millis == 0:
+		status = "skip (zero baseline)"
+	case oldB.AggP99Millis < minP99:
+		status = "skip (below minp99)"
+	case p99Ratio > p99Grow:
+		status = "REGRESSION"
+		regressions++
+	}
+	fmt.Fprintf(out, "  %-14s %10.2fms -> %10.2fms  (%5.2fx)  %s\n",
+		"agg p99", oldB.AggP99Millis, newB.AggP99Millis, p99Ratio, status)
+
+	drop := 0.0
+	if oldB.AggregateRPS > 0 {
+		drop = (oldB.AggregateRPS - newB.AggregateRPS) / oldB.AggregateRPS
+	}
+	status = "ok"
+	switch {
+	case oldB.AggregateRPS == 0:
+		status = "skip (zero baseline)"
+	case drop > tputDrop:
+		status = "REGRESSION"
+		regressions++
+	}
+	fmt.Fprintf(out, "  %-14s %8.1f/s -> %8.1f/s  (%+5.1f%%)  %s\n",
+		"agg tput", oldB.AggregateRPS, newB.AggregateRPS, -drop*100, status)
+
+	status = "ok"
+	if newB.Status5xx > oldB.Status5xx {
+		status = "REGRESSION"
+		regressions++
+	}
+	fmt.Fprintf(out, "  %-14s %10d   -> %10d    %s\n", "5xx responses", oldB.Status5xx, newB.Status5xx, status)
+
+	if regressions > 0 {
+		fmt.Fprintf(out, "\n%d regression(s)\n", regressions)
+		return 1
+	}
+	fmt.Fprintln(out, "\nno cluster regressions")
 	return 0
 }
 

@@ -480,6 +480,163 @@ func TestDeltaMixedKindsRejected(t *testing.T) {
 	}
 }
 
+// clusterSnapshot builds a cluster fixture.
+func clusterSnapshot(scaling float64, peerHits, forwards, s5xx int) serve.ClusterBench {
+	return serve.ClusterBench{
+		Kind: serve.ClusterBenchKind, GoVersion: "go1.24", NumCPU: 1,
+		Seed: 1, Replicas: 4, Requests: 800, Designs: 64, MisrouteRate: 0.10,
+		BaselineWallSeconds: 0.5, BaselineRPS: 1600,
+		// AggregateRPS is fixed rather than derived from scaling so a
+		// test can move the scaling gate without also tripping the
+		// relative throughput gate.
+		ClusterWallSeconds: 0.5 / scaling, AggregateRPS: 5000, ScalingX: scaling,
+		PeerHits: peerHits, Forwards: forwards,
+		Status2xx: 800 - s5xx, Status5xx: s5xx,
+		AggP50Millis: 5, AggP99Millis: 20,
+	}
+}
+
+// writeClusterSnapshot marshals b into dir and returns the file path.
+func writeClusterSnapshot(t *testing.T, dir, name string, b serve.ClusterBench) string {
+	t.Helper()
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestClusterEqualSnapshots diffs a healthy cluster snapshot against
+// itself: clean.
+func TestClusterEqualSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	old := writeClusterSnapshot(t, dir, "old.json", clusterSnapshot(3.5, 60, 30, 0))
+	cur := writeClusterSnapshot(t, dir, "new.json", clusterSnapshot(3.5, 60, 30, 0))
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; output:\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "no cluster regressions") {
+		t.Errorf("missing clean verdict:\n%s", out.String())
+	}
+}
+
+// TestClusterScalingGate fails a 4-replica run whose scaling falls
+// below the -cluster-scaling floor, judged on the new snapshot alone.
+func TestClusterScalingGate(t *testing.T) {
+	dir := t.TempDir()
+	old := writeClusterSnapshot(t, dir, "old.json", clusterSnapshot(3.5, 60, 30, 0))
+	cur := writeClusterSnapshot(t, dir, "new.json", clusterSnapshot(2.4, 60, 30, 0))
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 1 {
+		t.Fatalf("run = %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "below 3.00x floor") {
+		t.Errorf("missing scaling REGRESSION row:\n%s", out.String())
+	}
+	// Loosening the gate clears the same snapshot.
+	out.Reset()
+	if code := run([]string{"-cluster-scaling", "2.0", old, cur}, &out, &errw); code != 0 {
+		t.Fatalf("-cluster-scaling 2.0: run = %d, want 0; output:\n%s", code, out.String())
+	}
+}
+
+// TestClusterScalingFloorScalesWithReplicas holds a 2-replica run to
+// half the 4-replica floor.
+func TestClusterScalingFloorScalesWithReplicas(t *testing.T) {
+	dir := t.TempDir()
+	two := clusterSnapshot(1.6, 60, 30, 0)
+	two.Replicas = 2
+	old := writeClusterSnapshot(t, dir, "old.json", two)
+	cur := writeClusterSnapshot(t, dir, "new.json", two)
+	var out, errw bytes.Buffer
+	// 1.6x clears the scaled 1.5x floor.
+	if code := run([]string{old, cur}, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; output:\n%s", code, out.String())
+	}
+	two.ScalingX = 1.4
+	cur = writeClusterSnapshot(t, dir, "new2.json", two)
+	out.Reset()
+	if code := run([]string{old, cur}, &out, &errw); code != 1 {
+		t.Fatalf("1.4x at 2 replicas: run = %d, want 1; output:\n%s", code, out.String())
+	}
+}
+
+// TestClusterRoutingNotExercised fails a snapshot that never answered
+// from a peer cache or never forwarded — the run proved nothing about
+// the router.
+func TestClusterRoutingNotExercised(t *testing.T) {
+	dir := t.TempDir()
+	old := writeClusterSnapshot(t, dir, "old.json", clusterSnapshot(3.5, 60, 30, 0))
+	for _, c := range []struct {
+		name           string
+		hits, forwards int
+	}{
+		{"no-peer-hits.json", 0, 30},
+		{"no-forwards.json", 60, 0},
+	} {
+		cur := writeClusterSnapshot(t, dir, c.name, clusterSnapshot(3.5, c.hits, c.forwards, 0))
+		var out, errw bytes.Buffer
+		if code := run([]string{old, cur}, &out, &errw); code != 1 {
+			t.Fatalf("%s: run = %d, want 1; output:\n%s", c.name, code, out.String())
+		}
+		if !strings.Contains(out.String(), "routing path not exercised") {
+			t.Errorf("%s: missing routing REGRESSION row:\n%s", c.name, out.String())
+		}
+	}
+}
+
+// TestCluster5xxRegression fails when the 5xx count increases.
+func TestCluster5xxRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeClusterSnapshot(t, dir, "old.json", clusterSnapshot(3.5, 60, 30, 0))
+	cur := writeClusterSnapshot(t, dir, "new.json", clusterSnapshot(3.5, 60, 30, 2))
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 1 {
+		t.Fatalf("run = %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "5xx responses") || !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("missing 5xx REGRESSION row:\n%s", out.String())
+	}
+}
+
+// TestClusterZeroBaselineSkipped: a degenerate baseline (zero agg p99
+// and throughput) anchors no relative comparison but still lets the
+// absolute gates run.
+func TestClusterZeroBaselineSkipped(t *testing.T) {
+	dir := t.TempDir()
+	oldB := clusterSnapshot(3.5, 60, 30, 0)
+	oldB.AggP99Millis = 0
+	oldB.AggregateRPS = 0
+	old := writeClusterSnapshot(t, dir, "old.json", oldB)
+	cur := writeClusterSnapshot(t, dir, "new.json", clusterSnapshot(3.5, 60, 30, 0))
+	var out, errw bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "skip (zero baseline)") {
+		t.Errorf("missing zero-baseline skip:\n%s", out.String())
+	}
+}
+
+// TestClusterMixedKindsRejected refuses cluster-vs-serve diffs.
+func TestClusterMixedKindsRejected(t *testing.T) {
+	dir := t.TempDir()
+	clu := writeClusterSnapshot(t, dir, "cluster.json", clusterSnapshot(3.5, 60, 30, 0))
+	srv := writeServeSnapshot(t, dir, "serve.json", serveSnapshot(20, 500, 0))
+	var out, errw bytes.Buffer
+	if code := run([]string{clu, srv}, &out, &errw); code != 2 {
+		t.Fatalf("mixed kinds: run = %d, want 2; stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "kinds differ") {
+		t.Errorf("missing kind mismatch message: %s", errw.String())
+	}
+}
+
 // TestZeroWallBaselineSkipped: a baseline row with wall time 0 is
 // skipped explicitly even when -minwall is disabled.
 func TestZeroWallBaselineSkipped(t *testing.T) {

@@ -74,8 +74,11 @@ type result struct {
 	// provenance tallies across the verdicts the response carried (a
 	// batch or design response carries several).
 	cache, computed, coalesced, delta int
-	item5xx                           int
-	invalid                           bool
+	// peer and forwarded only appear in cluster mode (a non-owner
+	// answered from the owner's cache, or proxied to it).
+	peer, forwarded int
+	item5xx         int
+	invalid         bool
 }
 
 func run(argv []string, out, errw io.Writer) int {
@@ -91,6 +94,10 @@ func run(argv []string, out, errw io.Writer) int {
 	workers := fs.Int("workers", 0, "in-process server: worker pool size (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "in-process server: queue depth (0 = default)")
 	timeout := fs.Duration("timeout", 0, "in-process server: per-request deadline (0 = default)")
+	clusterMode := fs.Bool("cluster", false, "drive an in-process replica cluster through the shard ring (writes a cluster snapshot)")
+	replicas := fs.Int("replicas", 4, "cluster mode: ring member count")
+	designs := fs.Int("designs", 64, "cluster mode: distinct designs in the workload (balanced across replicas)")
+	misroute := fs.Float64("misroute", 0.10, "cluster mode: fraction of requests sent to a non-owner")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -100,6 +107,43 @@ func run(argv []string, out, errw io.Writer) int {
 	}
 
 	cfg := serve.Config{Workers: *workers, QueueDepth: *queue, Timeout: *timeout}
+	if *clusterMode {
+		if *addr != "" {
+			fmt.Fprintln(errw, "ebda-loadgen: -cluster drives in-process replicas; -addr is incompatible")
+			return 2
+		}
+		path := *outPath
+		if path == "BENCH_serve.json" {
+			// The untouched default names the single-server snapshot;
+			// cluster runs get their own file.
+			path = "BENCH_cluster.json"
+		}
+		// The single-server default of 200 requests is too small a
+		// sample for the scaling gate: a handful of forwards landing on
+		// one phase dominates its wall. Cluster runs default higher;
+		// an explicit -requests still wins.
+		reqs := *requests
+		explicit := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "requests" {
+				explicit = true
+			}
+		})
+		if !explicit {
+			reqs = 800
+		}
+		return runCluster(clusterParams{
+			seed:     *seed,
+			requests: reqs,
+			conc:     *conc,
+			replicas: *replicas,
+			designs:  *designs,
+			misroute: *misroute,
+			outPath:  path,
+			smoke:    *smoke,
+			cfg:      cfg,
+		}, out, errw)
+	}
 	base := *addr
 	var local *serve.Server
 	if base == "" {
@@ -192,14 +236,17 @@ func run(argv []string, out, errw io.Writer) int {
 		drainOK, drainMsg = probeDrain(client, baseURL, local)
 	}
 
-	// Aggregate.
+	// Aggregate. The config is recorded with defaults resolved: the pool
+	// size and queue depth the server actually ran with, never the
+	// zero-sentinels of unset flags.
+	resolved := cfg.Resolved()
 	b := serve.Bench{
 		Kind:        serve.BenchKind,
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339), //ebda:allow detlint bench snapshots are stamped with real wall time by design
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
-		Workers:     cfg.Workers,
-		QueueDepth:  cfg.QueueDepth,
+		Workers:     resolved.Workers,
+		QueueDepth:  resolved.QueueDepth,
 		Seed:        *seed,
 		WallSeconds: wall,
 	}
@@ -463,6 +510,10 @@ func (r *result) tally(provenance string) {
 		r.coalesced++
 	case "delta":
 		r.delta++
+	case "peer":
+		r.peer++
+	case "forwarded":
+		r.forwarded++
 	}
 }
 

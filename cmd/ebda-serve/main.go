@@ -13,10 +13,21 @@
 // cache. SIGINT/SIGTERM starts a graceful drain: /readyz flips to 503
 // immediately, in-flight verifications finish, then the listener stops.
 //
+// Cluster mode shards the verify-cache keyspace across replicas with a
+// deterministic consistent-hash ring: -name sets this replica's ring
+// name and -peers names the others ("r1=host:port,r2=host:port"). A
+// replica that does not own a request's cache key answers from its own
+// cache, the owner's cache (one GET), or by proxying to the owner
+// (-no-forward disables the proxy step). -snapshot-load warm-starts the
+// verify cache from a file before serving; -snapshot-save writes the
+// cache back after a clean drain, so a rolling restart keeps its
+// memoized verdicts.
+//
 // Usage examples:
 //
 //	ebda-serve -addr :8423
 //	ebda-serve -addr 127.0.0.1:0 -workers 4 -queue 128 -timeout 5s
+//	ebda-serve -addr :8423 -name r0 -peers r1=127.0.0.1:8424 -snapshot-load warm.snap -snapshot-save warm.snap
 //	curl -s localhost:8423/v1/verify -d '{"network":{"kind":"mesh","sizes":[8,8]},"chain":"PA[X+ X- Y-] -> PB[Y+]"}'
 package main
 
@@ -28,13 +39,63 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
+	"ebda/internal/cdg"
+	"ebda/internal/cluster"
 	"ebda/internal/obs"
 	"ebda/internal/obs/obshttp"
 	"ebda/internal/serve"
 )
+
+// parsePeers parses "name=host:port,name=host:port" into a URL map.
+func parsePeers(spec string) (map[string]string, error) {
+	peers := make(map[string]string)
+	if spec == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("malformed peer %q (want name=host:port)", part)
+		}
+		if peers[name] != "" {
+			return nil, fmt.Errorf("duplicate peer %q", name)
+		}
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		peers[name] = addr
+	}
+	return peers, nil
+}
+
+// clusterConfig assembles the ring from -name and -peers: the ring
+// membership is self plus every named peer, so all replicas given the
+// same full member list build the same table.
+func clusterConfig(self string, peers map[string]string, noForward bool) (*serve.ClusterConfig, error) {
+	members := make([]string, 0, len(peers)+1)
+	members = append(members, self)
+	for name := range peers {
+		if name == self {
+			return nil, fmt.Errorf("-peers names this replica (%q)", self)
+		}
+		members = append(members, name)
+	}
+	sort.Strings(members)
+	ring, err := cluster.New(members)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &serve.ClusterConfig{Self: self, Ring: ring, Peers: peers, NoForward: noForward}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
 
 func main() {
 	os.Exit(run())
@@ -47,14 +108,56 @@ func run() int {
 	timeout := flag.Duration("timeout", 0, "per-request deadline (0 = default 10s)")
 	jobs := flag.Int("jobs", 0, "intra-verification parallelism (0 = default 1)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful drain budget after SIGTERM/SIGINT")
+	name := flag.String("name", "", "replica name in the cluster ring (empty = single-process mode)")
+	peersSpec := flag.String("peers", "", "comma-separated peer replicas, name=host:port each")
+	noForward := flag.Bool("no-forward", false, "cluster mode: probe peer caches but never proxy compute")
+	snapLoad := flag.String("snapshot-load", "", "warm-start the verify cache from this snapshot file")
+	snapSave := flag.String("snapshot-save", "", "write a verify-cache snapshot here after a clean drain")
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		Timeout:    *timeout,
 		Jobs:       *jobs,
-	})
+	}
+	if *name != "" {
+		peers, err := parsePeers(*peersSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ebda-serve: -peers:", err)
+			return 2
+		}
+		cc, err := clusterConfig(*name, peers, *noForward)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ebda-serve: cluster:", err)
+			return 2
+		}
+		cfg.Cluster = cc
+		fmt.Fprintf(os.Stderr, "ebda-serve: %s joining %s (fingerprint %x)\n",
+			*name, cc.Ring, cc.Ring.Fingerprint())
+	} else if *peersSpec != "" {
+		fmt.Fprintln(os.Stderr, "ebda-serve: -peers requires -name")
+		return 2
+	}
+
+	// Warm-start before the listener exists: the first request already
+	// sees the snapshot's verdicts.
+	if *snapLoad != "" {
+		f, err := os.Open(*snapLoad)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ebda-serve: snapshot-load:", err)
+			return 2
+		}
+		n, err := cdg.DefaultCache.LoadSnapshot(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ebda-serve: snapshot-load:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "ebda-serve: warm-started %d cache entries from %s\n", n, *snapLoad)
+	}
+
+	srv := serve.New(cfg)
 	mux := obshttp.Mux(obs.Default, srv.Ready)
 	srv.Register(mux)
 
@@ -94,6 +197,24 @@ func run() int {
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "ebda-serve: shutdown:", err)
 		return 1
+	}
+	// Snapshot only after a clean drain: every admitted verification has
+	// finished, so the file captures a consistent verdict set.
+	if *snapSave != "" {
+		f, err := os.Create(*snapSave)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ebda-serve: snapshot-save:", err)
+			return 1
+		}
+		n, err := cdg.DefaultCache.SaveSnapshot(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ebda-serve: snapshot-save:", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "ebda-serve: saved %d cache entries to %s\n", n, *snapSave)
 	}
 	fmt.Fprintln(os.Stderr, "ebda-serve: drained cleanly")
 	return 0

@@ -181,6 +181,25 @@ func (c *VerifyCache) Lookup(net *topology.Network, vcs VCConfig, ts *core.TurnS
 	return Report{}, false
 }
 
+// LookupKey probes the cache by a raw dual-hash identity (a VerifyKey or
+// DeltaKey pair) without computing on a miss, with Lookup's accounting
+// contract: a hit counts as cache traffic, a miss counts nothing. It is
+// the peer-lookup entry point for cluster serving — a replica that owns
+// a key answers another replica's probe from its cache or not at all,
+// and the check hash guarantees a collision is a miss, never a wrong
+// report.
+func (c *VerifyCache) LookupKey(key, check uint64) (Report, bool) {
+	c.mu.RLock()
+	e, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok && e.check == check {
+		c.hits.Add(1)
+		obsCacheHits.Inc()
+		return e.rep, true
+	}
+	return Report{}, false
+}
+
 // VerifyTurnSetJobs returns the memoized report for the (network, vcs,
 // turn set) shape, computing and caching it on a miss via the pooled
 // verification path (jobs <= 0 means all cores). Reports are identical to

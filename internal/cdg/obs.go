@@ -27,6 +27,10 @@ var (
 		"entries dropped by verify cache epoch flushes")
 	obsCacheEntries = obs.NewGauge("ebda_verify_cache_entries",
 		"live entries in the default verify cache")
+	obsSnapshotSaved = obs.NewCounter("ebda_verify_cache_snapshot_saved_total",
+		"cache entries written to verify-cache snapshots")
+	obsSnapshotLoaded = obs.NewCounter("ebda_verify_cache_snapshot_loaded_total",
+		"cache entries loaded from verify-cache snapshots")
 
 	obsDeltaVerifies = obs.NewCounter("ebda_cdg_delta_verifies_total",
 		"delta verifications run through retained workspaces")

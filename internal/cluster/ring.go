@@ -1,0 +1,217 @@
+// Package cluster implements the consistent-hash shard router that maps
+// verify-cache keys to owner replicas. The verify cache's canonical
+// dual-hash key (cdg.VerifyKey / cdg.DeltaKey) is the shard key: every
+// replica builds the same Ring from the same member list and therefore
+// agrees on which replica owns which keyspace slice, with no
+// coordination at runtime.
+//
+// The ring is a bounded-load consistent hash: each replica contributes
+// a deterministic set of virtual nodes, the 64-bit hash space is
+// quantized into fixed slots, and slots are assigned to the nearest
+// virtual node's replica subject to a per-replica capacity of
+// ceil(loadFactor * slots / replicas). The cap turns the classic
+// ketama tail risk (one replica owning an outsized arc) into a hard
+// bound — no replica ever owns more than loadFactor times its fair
+// share of the keyspace — while vnode placement keeps slot ownership
+// stable under membership changes (adding one replica to n moves about
+// 1/(n+1) of the slots).
+//
+// Construction is deterministic: it depends only on the sorted member
+// names, the vnode count and the load factor. Two processes given the
+// same membership always produce identical slot tables; Fingerprint
+// exposes a hash of the table so peers can cheaply assert agreement.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+const (
+	// slotBits quantizes the hash space: 2^slotBits slots, each covering
+	// a 2^(64-slotBits) arc. 4096 slots keep the table small (8 KiB)
+	// while holding quantization error under 0.03% of the keyspace.
+	slotBits = 12
+	// Slots is the number of keyspace slots a Ring assigns.
+	Slots = 1 << slotBits
+
+	// DefaultVirtualNodes is the per-replica vnode count. 128 vnodes per
+	// replica keep the pre-cap ownership spread tight enough that the
+	// bounded-load cap rarely has to intervene.
+	DefaultVirtualNodes = 128
+
+	// DefaultLoadFactor caps any replica's keyspace share at 1.25x the
+	// fair share, the classic bounded-load setting: low enough to bound
+	// hot-spotting, high enough that slot reassignment stays local.
+	DefaultLoadFactor = 1.25
+)
+
+// Ring is an immutable consistent-hash slot table. Build one with New
+// (or NewWithOptions); all methods are safe for concurrent use.
+type Ring struct {
+	replicas []string // sorted member names
+	slots    []uint16 // slot index -> replicas index
+	shares   []int    // replicas index -> owned slot count
+	cap      int      // bounded-load slot cap per replica
+}
+
+// New builds a ring over the replica names with DefaultVirtualNodes and
+// DefaultLoadFactor. Names are sorted internally, so member order does
+// not matter; duplicate or empty names are errors.
+func New(replicas []string) (*Ring, error) {
+	return NewWithOptions(replicas, DefaultVirtualNodes, DefaultLoadFactor)
+}
+
+// NewWithOptions is New with explicit vnode count and load factor. The
+// load factor must be at least 1 (a cap below the fair share cannot
+// cover the keyspace).
+func NewWithOptions(replicas []string, vnodes int, loadFactor float64) (*Ring, error) {
+	if len(replicas) == 0 {
+		return nil, errors.New("cluster: ring needs at least one replica")
+	}
+	if vnodes < 1 {
+		return nil, fmt.Errorf("cluster: %d virtual nodes per replica, need at least 1", vnodes)
+	}
+	if loadFactor < 1 {
+		return nil, fmt.Errorf("cluster: load factor %.2f below 1", loadFactor)
+	}
+	names := make([]string, len(replicas))
+	copy(names, replicas)
+	sort.Strings(names)
+	for i, n := range names {
+		if n == "" {
+			return nil, errors.New("cluster: empty replica name")
+		}
+		if i > 0 && names[i-1] == n {
+			return nil, fmt.Errorf("cluster: duplicate replica name %q", n)
+		}
+	}
+
+	// Place the virtual nodes. The point hash chains the name hash with
+	// the vnode index through splitmix64, so placement depends only on
+	// (name, index) — deterministic across processes and Go versions.
+	type vnode struct {
+		point   uint64
+		replica uint16
+	}
+	vs := make([]vnode, 0, len(names)*vnodes)
+	for ri, name := range names {
+		h := hashString(name)
+		for v := 0; v < vnodes; v++ {
+			vs = append(vs, vnode{point: mix64(h ^ mix64(uint64(v)+0x9e3779b97f4a7c15)), replica: uint16(ri)})
+		}
+	}
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].point != vs[j].point {
+			return vs[i].point < vs[j].point
+		}
+		return vs[i].replica < vs[j].replica
+	})
+
+	// Assign slots in slot order: each slot goes to the first successor
+	// vnode whose replica is still under the bounded-load cap. With
+	// cap*n >= Slots there is always such a replica, so the walk
+	// terminates within one lap of the vnode list.
+	r := &Ring{
+		replicas: names,
+		slots:    make([]uint16, Slots),
+		shares:   make([]int, len(names)),
+		cap:      int((loadFactor*Slots + float64(len(names)) - 1) / float64(len(names))),
+	}
+	if r.cap < Slots/len(names) {
+		r.cap = (Slots + len(names) - 1) / len(names)
+	}
+	for s := 0; s < Slots; s++ {
+		point := uint64(s) << (64 - slotBits)
+		i := sort.Search(len(vs), func(i int) bool { return vs[i].point >= point })
+		for probes := 0; ; probes++ {
+			if probes > len(vs) {
+				// Unreachable: cap*len(names) >= Slots guarantees an
+				// under-cap replica exists on every walk.
+				panic("cluster: bounded-load walk found no replica under cap")
+			}
+			v := vs[(i+probes)%len(vs)]
+			if r.shares[v.replica] < r.cap {
+				r.slots[s] = v.replica
+				r.shares[v.replica]++
+				break
+			}
+		}
+	}
+	return r, nil
+}
+
+// Owner returns the replica name owning a cache key.
+func (r *Ring) Owner(key uint64) string {
+	return r.replicas[r.slots[key>>(64-slotBits)]]
+}
+
+// Contains reports whether name is a ring member. A serving process
+// whose name is not a member acts as a pure edge router: it owns no
+// keys and answers everything via its peers (or local compute).
+func (r *Ring) Contains(name string) bool {
+	i := sort.SearchStrings(r.replicas, name)
+	return i < len(r.replicas) && r.replicas[i] == name
+}
+
+// Replicas returns the sorted member names (a copy).
+func (r *Ring) Replicas() []string {
+	out := make([]string, len(r.replicas))
+	copy(out, r.replicas)
+	return out
+}
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.replicas) }
+
+// Shares returns each member's owned slot count, in Replicas() order.
+// Every share is bounded by Cap.
+func (r *Ring) Shares() []int {
+	out := make([]int, len(r.shares))
+	copy(out, r.shares)
+	return out
+}
+
+// Cap returns the bounded-load slot cap: no replica owns more slots.
+func (r *Ring) Cap() int { return r.cap }
+
+// Fingerprint hashes the slot table. Two rings with equal fingerprints
+// route every key identically; replicas can exchange fingerprints to
+// assert membership agreement before serving.
+func (r *Ring) Fingerprint() uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, name := range r.replicas {
+		h = mix64(h ^ hashString(name))
+	}
+	for _, s := range r.slots {
+		h = mix64(h*0x100000001b3 + uint64(s))
+	}
+	return h
+}
+
+// String summarizes the ring for logs.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring{%s; %d slots, cap %d}", strings.Join(r.replicas, " "), Slots, r.cap)
+}
+
+// hashString is FNV-1a 64 diffused through splitmix64.
+func hashString(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 0x100000001b3
+	}
+	return mix64(h)
+}
+
+// mix64 is the splitmix64 finalizer, the same diffusion the verify
+// cache key derivation uses.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := New([]string{"a", ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := New([]string{"a", "b", "a"}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := NewWithOptions([]string{"a"}, 0, 1.25); err == nil {
+		t.Error("zero vnodes accepted")
+	}
+	if _, err := NewWithOptions([]string{"a"}, 16, 0.5); err == nil {
+		t.Error("load factor below 1 accepted")
+	}
+}
+
+// TestDeterministic pins the routing contract the cluster depends on:
+// every replica builds the same table from the same membership, in any
+// member order.
+func TestDeterministic(t *testing.T) {
+	a, err := New([]string{"r0", "r1", "r2", "r3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New([]string{"r3", "r1", "r0", "r2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("member order changed the table: %x vs %x", a.Fingerprint(), b.Fingerprint())
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		k := rng.Uint64()
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %x owner disagrees: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestBoundedLoad checks the capacity invariant: no replica owns more
+// slots than the cap, and the cap covers the keyspace.
+func TestBoundedLoad(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 16} {
+		names := make([]string, n)
+		for i := range names {
+			names[i] = string(rune('a' + i))
+		}
+		r, err := New(names)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for i, s := range r.Shares() {
+			total += s
+			if s > r.Cap() {
+				t.Errorf("n=%d: replica %d owns %d slots, cap %d", n, i, s, r.Cap())
+			}
+			if s == 0 {
+				t.Errorf("n=%d: replica %d owns no slots", n, i)
+			}
+		}
+		if total != Slots {
+			t.Errorf("n=%d: shares sum to %d, want %d", n, total, Slots)
+		}
+	}
+}
+
+// TestRemapStability checks the consistent-hashing property: growing
+// the membership from 4 to 5 moves roughly 1/5 of the slots, not all
+// of them.
+func TestRemapStability(t *testing.T) {
+	four, err := New([]string{"r0", "r1", "r2", "r3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	five, err := New([]string{"r0", "r1", "r2", "r3", "r4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for s := 0; s < Slots; s++ {
+		key := uint64(s) << (64 - slotBits)
+		if four.Owner(key) != five.Owner(key) {
+			moved++
+		}
+	}
+	frac := float64(moved) / Slots
+	if frac < 0.05 || frac > 0.45 {
+		t.Errorf("adding a 5th replica moved %.0f%% of slots, want roughly 20%%", frac*100)
+	}
+}
+
+// TestEdgeRouter pins the non-member contract: a name outside the ring
+// is never an owner, so a process under that name forwards everything.
+func TestEdgeRouter(t *testing.T) {
+	r, err := New([]string{"r0", "r1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Contains("edge") {
+		t.Error("non-member reported as contained")
+	}
+	if !r.Contains("r0") || !r.Contains("r1") {
+		t.Error("member reported as missing")
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		if r.Owner(rng.Uint64()) == "edge" {
+			t.Fatal("non-member owns a key")
+		}
+	}
+}
+
+func TestSingleReplicaOwnsAll(t *testing.T) {
+	r, err := New([]string{"solo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		if got := r.Owner(rng.Uint64()); got != "solo" {
+			t.Fatalf("Owner = %q, want solo", got)
+		}
+	}
+}

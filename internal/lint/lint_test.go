@@ -15,11 +15,16 @@ func TestVerifygateGolden(t *testing.T) { RunGolden(t, "verifygate", Verifygate)
 // entry points and Workspace verify methods are banned too.
 func TestVerifygateServeGolden(t *testing.T) { RunGolden(t, "verifygate/serve", Verifygate) }
 
+// TestVerifygateClusterGolden pins the same serving contract to the
+// shard router: a "/cluster" import path forwards served verdicts, so
+// the uncached entry points and hand-built Reports are banned there too.
+func TestVerifygateClusterGolden(t *testing.T) { RunGolden(t, "verifygate/cluster", Verifygate) }
+
 // TestSuiteCleanOnEngine runs the full suite over the packages that carry
 // the invariants it guards — the engine itself must lint clean, so a
 // regression in cdg/core/routing fails here as well as in make lint.
 func TestSuiteCleanOnEngine(t *testing.T) {
-	for _, rel := range []string{"internal/cdg", "internal/core", "internal/routing", "internal/serve"} {
+	for _, rel := range []string{"internal/cdg", "internal/core", "internal/routing", "internal/serve", "internal/cluster"} {
 		pkg := loadRepoPackage(t, rel)
 		diags, err := Run(pkg, All())
 		if err != nil {

@@ -19,8 +19,10 @@ const cdgPath = "ebda/internal/cdg"
 // FindCycleJobs) bypasses both, and hand-assembled cdg.Report literals
 // forge verdicts the engine never produced.
 //
-// Serving packages (ebda/internal/serve and anything whose import path
-// ends in "/serve") carry a stricter contract: every verdict they hand a
+// Serving packages (ebda/internal/serve, ebda/internal/cluster and
+// anything whose import path ends in "/serve" or "/cluster" — the shard
+// router forwards served verdicts, so it carries the same contract)
+// are held to a stricter rule: every verdict they hand a
 // client must flow through the verify cache — VerifyCache.Lookup plus a
 // cache-computing entry point — so responses are memoized, coalescible
 // and identical across requests. In those packages the uncached pooled
@@ -65,10 +67,13 @@ var deltaBypassFuncs = map[string]bool{
 }
 
 // servingPkg reports whether an import path carries the serving-layer
-// contract (the repo's internal/serve, or a /serve-suffixed package such
-// as the golden testdata).
+// contract: the repo's internal/serve and internal/cluster (the shard
+// router hands clients verdicts sourced from peer replicas, so cached
+// provenance matters there just as much), plus any /serve- or
+// /cluster-suffixed package such as the golden testdata.
 func servingPkg(path string) bool {
-	return path == "ebda/internal/serve" || strings.HasSuffix(path, "/serve")
+	return path == "ebda/internal/serve" || strings.HasSuffix(path, "/serve") ||
+		path == "ebda/internal/cluster" || strings.HasSuffix(path, "/cluster")
 }
 
 func runVerifygate(pass *Pass) error {

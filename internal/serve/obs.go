@@ -18,6 +18,8 @@ var (
 		"requests received by /v1/batch")
 	obsReqDelta = obs.NewCounter(obs.Label("ebda_serve_requests_total", "endpoint", "delta"),
 		"requests received by /v1/verify/delta")
+	obsReqPeerLookup = obs.NewCounter(obs.Label("ebda_serve_requests_total", "endpoint", "peer_lookup"),
+		"requests received by /v1/peer/lookup")
 
 	obsVerdictCache = obs.NewCounter(obs.Label("ebda_serve_verdicts_total", "provenance", "cache"),
 		"verdicts answered from the verify cache")
@@ -27,6 +29,10 @@ var (
 		"verdicts shared from another request's in-flight computation")
 	obsVerdictDelta = obs.NewCounter(obs.Label("ebda_serve_verdicts_total", "provenance", "delta"),
 		"verdicts computed incrementally through a retained delta workspace")
+	obsVerdictPeer = obs.NewCounter(obs.Label("ebda_serve_verdicts_total", "provenance", "peer"),
+		"verdicts answered from an owning replica's cache via peer lookup")
+	obsVerdictForwarded = obs.NewCounter(obs.Label("ebda_serve_verdicts_total", "provenance", "forwarded"),
+		"verdicts proxied to and computed by the owning replica")
 
 	obsRejectBad = obs.NewCounter(obs.Label("ebda_serve_rejected_total", "reason", "bad_request"),
 		"requests rejected by decode or validation (400)")
@@ -39,6 +45,25 @@ var (
 
 	obsQueueDepth = obs.NewGauge("ebda_serve_queue_depth",
 		"verifications admitted and waiting for a worker")
+
+	// Cluster routing series. Invariants: peer_probes >= peer_probe_hits;
+	// forwards = forward-path verdicts + forward_fails + owner-rejected
+	// pass-throughs; forward_served counts single-hop arrivals (a second
+	// hop never happens, so this equals the forwards peers sent us).
+	obsClusterReplicas = obs.NewGauge("ebda_cluster_replicas",
+		"ring members this replica routes across")
+	obsClusterPeerProbes = obs.NewCounter("ebda_cluster_peer_probes_total",
+		"peer cache lookups issued to owning replicas")
+	obsClusterPeerHits = obs.NewCounter("ebda_cluster_peer_probe_hits_total",
+		"peer cache lookups answered from the owner's cache")
+	obsClusterForwards = obs.NewCounter("ebda_cluster_forwards_total",
+		"requests proxied to their owning replica")
+	obsClusterForwardFails = obs.NewCounter("ebda_cluster_forward_fails_total",
+		"forwards that failed in transport and degraded to local compute")
+	obsClusterForwardServed = obs.NewCounter("ebda_cluster_forward_served_total",
+		"forwarded requests served locally (the single permitted hop)")
+	obsPeerLookupHits = obs.NewCounter("ebda_serve_peer_lookup_hits_total",
+		"peer lookup requests answered from this replica's cache")
 
 	phaseServeVerify = obs.NewPhase("serve.verify", "")
 	phaseServeDelta  = obs.NewPhase("serve.delta", "")
