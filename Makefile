@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-diff bench-delta bench-cluster cluster-soak repro fmt vet lint obs-smoke serve-smoke fuzz-short check clean
+.PHONY: all build test race bench bench-json bench-diff bench-delta bench-cluster cluster-soak repro fmt vet lint lint-sarif obs-smoke serve-smoke fuzz-short check clean
 
 all: check
 
@@ -67,10 +67,16 @@ vet:
 	$(GO) vet ./...
 
 # lint = go vet + the repo's own analyzer suite (detlint, locklint,
-# hotpath, verifygate); see CONTRIBUTING.md for the invariants each
-# analyzer enforces and the //ebda:allow escape hatch.
+# hotpath, verifygate, deadlint, ctxlint); see CONTRIBUTING.md for the
+# invariants each analyzer enforces and the //ebda:allow escape hatch.
+# lint.baseline suppresses inherited findings, so the gate fails only on
+# NEW diagnostics; lint-sarif additionally writes lint.sarif for upload
+# to code-scanning UIs.
 lint: vet
-	$(GO) run ./cmd/ebda-lint ./...
+	$(GO) run ./cmd/ebda-lint -baseline lint.baseline ./...
+
+lint-sarif: vet
+	$(GO) run ./cmd/ebda-lint -baseline lint.baseline -sarif lint.sarif ./...
 
 # obs-smoke runs the same deterministic verification twice with -obs-json
 # and asserts the dumps parse, carry the required engine series, and are

@@ -1,15 +1,24 @@
 // Command ebda-lint runs the repo's analyzer suite (detlint, locklint,
-// hotpath, verifygate) over the given packages and reports violations of
-// the engine's determinism, concurrency and hot-path invariants.
+// hotpath, verifygate, deadlint, ctxlint) over the given packages and
+// reports violations of the engine's determinism, concurrency, hot-path
+// and deadlock-freedom invariants.
 //
 // Usage:
 //
-//	ebda-lint [-only list] [patterns...]
+//	ebda-lint [-only list] [-json] [-sarif file] [-baseline file] [patterns...]
 //
 // Patterns are package directories relative to the module root, or the
 // "./..." form to walk a tree; the default is "./...". Diagnostics print
-// as "file:line:col: analyzer: message". Exit status is 0 when clean, 1
-// when any diagnostic fires, and 2 on load or usage errors.
+// as "file:line:col: analyzer: message" with file paths relative to the
+// module root, so output is stable across checkouts. Exit status is 0
+// when clean, 1 when any diagnostic fires, and 2 on load or usage errors.
+//
+// -json renders the diagnostics as a JSON array instead of text. -sarif
+// writes a SARIF 2.1.0 log to the given file ("-" for stdout) alongside
+// the normal output, for upload to code-scanning UIs. -baseline reads a
+// suppression file of known findings (one "analyzer<TAB>file<TAB>message"
+// per line, # comments); baselined diagnostics are dropped, so CI gates
+// only on new findings.
 //
 // Individual findings can be suppressed at the offending line (or the
 // line above it) with a justification:
@@ -18,9 +27,13 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"ebda/internal/lint"
@@ -30,10 +43,35 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(argv []string, out, errw *os.File) int {
+// diagRecord is one diagnostic with its path rewritten relative to the
+// module root — the stable form shared by text, JSON, SARIF and the
+// baseline.
+type diagRecord struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+func (r diagRecord) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", r.File, r.Line, r.Column, r.Analyzer, r.Message)
+}
+
+// baselineKey is the identity a suppression matches on: line numbers are
+// deliberately excluded so unrelated edits above a known finding do not
+// resurface it.
+func (r diagRecord) baselineKey() string {
+	return r.Analyzer + "\t" + r.File + "\t" + r.Message
+}
+
+func run(argv []string, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("ebda-lint", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := fs.Bool("json", false, "render diagnostics as a JSON array")
+	sarifPath := fs.String("sarif", "", "write a SARIF 2.1.0 log to this file (\"-\" for stdout)")
+	baselinePath := fs.String("baseline", "", "suppression file of known findings to ignore")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -57,13 +95,19 @@ func run(argv []string, out, errw *os.File) int {
 		fmt.Fprintf(errw, "ebda-lint: %v\n", err)
 		return 2
 	}
+	baseline, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(errw, "ebda-lint: %v\n", err)
+		return 2
+	}
 	dirs, err := lint.Expand(loader.ModRoot(), patterns)
 	if err != nil {
 		fmt.Fprintf(errw, "ebda-lint: %v\n", err)
 		return 2
 	}
 
-	found := false
+	var records []diagRecord
+	suppressed := 0
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir)
 		if err != nil {
@@ -76,14 +120,191 @@ func run(argv []string, out, errw *os.File) int {
 			return 2
 		}
 		for _, d := range diags {
-			found = true
-			fmt.Fprintln(out, d)
+			r := diagRecord{
+				Analyzer: d.Analyzer,
+				File:     relPath(loader.ModRoot(), d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			}
+			if baseline[r.baselineKey()] {
+				suppressed++
+				continue
+			}
+			records = append(records, r)
 		}
 	}
-	if found {
+
+	if *sarifPath != "" {
+		if err := writeSARIF(*sarifPath, out, analyzers, records); err != nil {
+			fmt.Fprintf(errw, "ebda-lint: %v\n", err)
+			return 2
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if records == nil {
+			records = []diagRecord{}
+		}
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintf(errw, "ebda-lint: %v\n", err)
+			return 2
+		}
+	} else if *sarifPath != "-" {
+		for _, r := range records {
+			fmt.Fprintln(out, r)
+		}
+	}
+	if suppressed > 0 {
+		fmt.Fprintf(errw, "ebda-lint: %d finding(s) suppressed by baseline %s\n", suppressed, *baselinePath)
+	}
+	if len(records) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// relPath rewrites an absolute diagnostic path relative to the module
+// root with forward slashes; paths outside the module pass through.
+func relPath(root, name string) string {
+	rel, err := filepath.Rel(root, name)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(name)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// loadBaseline parses a suppression file: one tab-separated
+// "analyzer<TAB>file<TAB>message" per line, blank lines and # comments
+// skipped. An empty path yields an empty baseline.
+func loadBaseline(path string) (map[string]bool, error) {
+	out := map[string]bool{}
+	if path == "" {
+		return out, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, "\t") != 2 {
+			return nil, fmt.Errorf("%s:%d: baseline entries are analyzer<TAB>file<TAB>message", path, lineno)
+		}
+		out[line] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SARIF 2.1.0 output, minimal but schema-valid: one run, one rule per
+// analyzer, one result per diagnostic with a physical location anchored
+// at the module root.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// writeSARIF renders the records as a SARIF log to path ("-" = out).
+func writeSARIF(path string, out io.Writer, analyzers []*lint.Analyzer, records []diagRecord) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(records))
+	for _, r := range records {
+		results = append(results, sarifResult{
+			RuleID:  r.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: r.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: r.File, URIBaseID: "%SRCROOT%"},
+				Region:           sarifRegion{StartLine: r.Line, StartColumn: r.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "ebda-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	var w io.Writer = out
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
 }
 
 // selectAnalyzers resolves the -only list against the registered suite.

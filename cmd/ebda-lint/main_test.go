@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The golden packages under internal/lint/testdata are the fixtures: the
+// deadlint clean package is diagnostic-free, the cyclic package carries a
+// seeded AB/BA deadlock. Patterns resolve against the module root, so
+// these paths work regardless of the test's working directory.
+const (
+	cleanPkg  = "internal/lint/testdata/deadlint/clean"
+	cyclicPkg = "internal/lint/testdata/deadlint/cyclic"
+)
+
+// TestExitClean pins exit 0 and empty stdout on a clean package.
+func TestExitClean(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{cleanPkg}, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; stdout: %s stderr: %s", code, out.String(), errw.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", out.String())
+	}
+}
+
+// TestExitDiagnostics pins exit 1, module-root-relative paths and the
+// deadlint message on the seeded cycle.
+func TestExitDiagnostics(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{cyclicPkg}, &out, &errw); code != 1 {
+		t.Fatalf("run = %d, want 1; stderr: %s", code, errw.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "lock-order cycle") {
+		t.Errorf("missing deadlint diagnostic:\n%s", text)
+	}
+	if !strings.HasPrefix(text, cyclicPkg+"/cyclic.go:") {
+		t.Errorf("diagnostic path is not module-root-relative:\n%s", text)
+	}
+}
+
+// TestExitLoadError pins exit 2 when a pattern names no loadable package.
+func TestExitLoadError(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"internal/no/such/package"}, &out, &errw); code != 2 {
+		t.Fatalf("run = %d, want 2; stdout: %s", code, out.String())
+	}
+	if errw.Len() == 0 {
+		t.Error("load error printed nothing to stderr")
+	}
+}
+
+// TestExitUsageError pins exit 2 on an unknown -only analyzer.
+func TestExitUsageError(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-only", "nosuchlint", cleanPkg}, &out, &errw); code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "unknown analyzer") {
+		t.Errorf("missing analyzer list in usage error: %s", errw.String())
+	}
+}
+
+// TestJSONOutput decodes the -json form and checks the record fields.
+func TestJSONOutput(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-json", cyclicPkg}, &out, &errw); code != 1 {
+		t.Fatalf("run = %d, want 1; stderr: %s", code, errw.String())
+	}
+	var records []diagRecord
+	if err := json.Unmarshal(out.Bytes(), &records); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(records) != 2 {
+		t.Fatalf("got %d records, want 2 (one per cycle edge): %+v", len(records), records)
+	}
+	for _, r := range records {
+		if r.Analyzer != "deadlint" || r.File != cyclicPkg+"/cyclic.go" || r.Line == 0 || r.Message == "" {
+			t.Errorf("malformed record: %+v", r)
+		}
+	}
+}
+
+// TestJSONClean pins that -json renders an empty array, not null.
+func TestJSONClean(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-json", cleanPkg}, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0; stderr: %s", code, errw.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("clean -json output = %q, want []", got)
+	}
+}
+
+// TestSARIFOutput writes a SARIF log and checks the schema-bearing
+// fields a code-scanning upload needs.
+func TestSARIFOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.sarif")
+	var out, errw bytes.Buffer
+	if code := run([]string{"-sarif", path, cyclicPkg}, &out, &errw); code != 1 {
+		t.Fatalf("run = %d, want 1; stderr: %s", code, errw.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("SARIF is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("bad SARIF envelope: version %q, %d runs", log.Version, len(log.Runs))
+	}
+	run0 := log.Runs[0]
+	if run0.Tool.Driver.Name != "ebda-lint" {
+		t.Errorf("driver name %q", run0.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run0.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, want := range []string{"detlint", "locklint", "hotpath", "verifygate", "deadlint", "ctxlint"} {
+		if !ruleIDs[want] {
+			t.Errorf("rule %s missing from SARIF driver", want)
+		}
+	}
+	if len(run0.Results) != 2 {
+		t.Fatalf("got %d SARIF results, want 2", len(run0.Results))
+	}
+	for _, res := range run0.Results {
+		if res.RuleID != "deadlint" || res.Level != "error" || len(res.Locations) != 1 {
+			t.Errorf("malformed result: %+v", res)
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI != cyclicPkg+"/cyclic.go" || loc.Region.StartLine == 0 {
+			t.Errorf("malformed location: %+v", loc)
+		}
+	}
+	// The text rendering still goes to stdout alongside the file.
+	if !strings.Contains(out.String(), "lock-order cycle") {
+		t.Errorf("-sarif to a file suppressed the text output:\n%s", out.String())
+	}
+}
+
+// TestBaselineSuppression round-trips the baseline: a file generated from
+// the findings turns exit 1 into exit 0, and a note lands on stderr.
+func TestBaselineSuppression(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-json", cyclicPkg}, &out, &errw); code != 1 {
+		t.Fatalf("seed run = %d, want 1", code)
+	}
+	var records []diagRecord
+	if err := json.Unmarshal(out.Bytes(), &records); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("# generated by TestBaselineSuppression\n\n")
+	for _, r := range records {
+		sb.WriteString(r.baselineKey())
+		sb.WriteByte('\n')
+	}
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-baseline", path, cyclicPkg}, &out, &errw); code != 0 {
+		t.Fatalf("baselined run = %d, want 0; stdout: %s", code, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("baselined findings still printed:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "suppressed by baseline") {
+		t.Errorf("missing suppression note on stderr: %s", errw.String())
+	}
+}
+
+// TestBaselineMalformed pins exit 2 on a baseline file with a bad entry.
+func TestBaselineMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := os.WriteFile(path, []byte("not a tab separated entry\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw bytes.Buffer
+	if code := run([]string{"-baseline", path, cleanPkg}, &out, &errw); code != 2 {
+		t.Fatalf("run = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "baseline entries are") {
+		t.Errorf("missing format hint: %s", errw.String())
+	}
+}

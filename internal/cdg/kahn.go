@@ -71,7 +71,20 @@ func (st *acyclicState) ensure(n int) {
 //
 //ebda:hotpath
 func (g *Graph) kahnPeel(ctx context.Context, jobs int, st *acyclicState) (int, error) {
-	nc := len(g.channels)
+	return kahnPeelAdj(ctx, g.adj, jobs, st)
+}
+
+// kahnPeelAdj is the representation-agnostic peel behind Graph.kahnPeel
+// and the abstract EdgeSet verification: it needs only the adjacency rows
+// (sorted or not — the peel never relies on row order), so any dependency
+// graph reduced to dense int32 successor lists runs through the one
+// engine. The determinism argument is unchanged: the maximal peel is a
+// property of the graph, so the residual is bit-identical for every
+// worker count.
+//
+//ebda:hotpath
+func kahnPeelAdj(ctx context.Context, adj [][]int32, jobs int, st *acyclicState) (int, error) {
+	nc := len(adj)
 	st.ensure(nc)
 	if nc == 0 {
 		return 0, ctx.Err()
@@ -82,14 +95,14 @@ func (g *Graph) kahnPeel(ctx context.Context, jobs int, st *acyclicState) (int, 
 	// so parallel workers count with atomic adds.
 	if workers <= 1 {
 		for i := 0; i < nc; i++ {
-			for _, s := range g.adj[i] {
+			for _, s := range adj[i] {
 				indeg[s]++
 			}
 		}
 	} else {
 		parallelFor(workers, func(w int) {
 			for i := w; i < nc; i += workers {
-				for _, s := range g.adj[i] {
+				for _, s := range adj[i] {
 					atomic.AddInt32(&indeg[s], 1)
 				}
 			}
@@ -123,7 +136,7 @@ func (g *Graph) kahnPeel(ctx context.Context, jobs int, st *acyclicState) (int, 
 		out := st.swap[:0]
 		if w <= 1 {
 			for _, v := range frontier {
-				for _, s := range g.adj[v] {
+				for _, s := range adj[v] {
 					if indeg[s]--; indeg[s] == 0 {
 						out = append(out, s)
 					}
@@ -133,7 +146,7 @@ func (g *Graph) kahnPeel(ctx context.Context, jobs int, st *acyclicState) (int, 
 			parallelFor(w, func(k int) {
 				buf := st.next[k][:0]
 				for i := k; i < len(frontier); i += w {
-					for _, s := range g.adj[frontier[i]] {
+					for _, s := range adj[frontier[i]] {
 						if atomic.AddInt32(&indeg[s], -1) == 0 {
 							buf = append(buf, s)
 						}
@@ -159,7 +172,23 @@ func (g *Graph) kahnPeel(ctx context.Context, jobs int, st *acyclicState) (int, 
 // adjacency, so the reported cycle is independent of the worker count the
 // peel ran with.
 func (g *Graph) findCycleResidual(st *acyclicState) []Channel {
-	nc := len(g.channels)
+	idx := findCycleResidualAdj(g.adj, st)
+	if idx == nil {
+		return nil
+	}
+	cyc := make([]Channel, len(idx))
+	for i, v := range idx {
+		cyc[i] = g.channels[v]
+	}
+	return cyc
+}
+
+// findCycleResidualAdj is findCycleResidual on bare adjacency rows,
+// returning the cycle as dense indices in dependency order (the last
+// element depends on the first). It is shared by the concrete Graph and
+// the abstract EdgeSet verification.
+func findCycleResidualAdj(adj [][]int32, st *acyclicState) []int32 {
+	nc := len(adj)
 	if cap(st.color) < nc {
 		st.color = make([]uint8, nc)
 		st.parent = make([]int32, nc)
@@ -187,8 +216,8 @@ func (g *Graph) findCycleResidual(st *acyclicState) []Channel {
 		st.color[start] = dfsGrey
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
-			if f.next < len(g.adj[f.node]) {
-				succ := g.adj[f.node][f.next]
+			if f.next < len(adj[f.node]) {
+				succ := adj[f.node][f.next]
 				f.next++
 				switch st.color[succ] {
 				case dfsWhite:
@@ -198,9 +227,9 @@ func (g *Graph) findCycleResidual(st *acyclicState) []Channel {
 				case dfsGrey:
 					// Found a cycle: walk parents from f.node back to
 					// succ, then reverse into dependency order.
-					var cyc []Channel
+					var cyc []int32
 					for v := f.node; ; v = st.parent[v] {
-						cyc = append(cyc, g.channels[v])
+						cyc = append(cyc, v)
 						if v == succ {
 							break
 						}

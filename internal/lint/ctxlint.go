@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Ctxlint enforces the serving layer's context discipline. The HTTP and
+// cluster layers (ebda/internal/serve, ebda/internal/cluster and any
+// /serve- or /cluster-suffixed package, same scope as verifygate's
+// serving rule) own deadline and cancellation propagation: every piece of
+// request-scoped work must derive its context from the caller, and
+// polling loops must not leak timers.
+//
+// Two rules:
+//
+//   - no context.Background() or context.TODO() in a serving package. A
+//     fresh root context detaches the work from the request's deadline
+//     and from graceful drain. The rare deliberate detachment (e.g. a
+//     coalesced flight that outlives its first caller) carries
+//     //ebda:allow ctxlint with a reason.
+//
+//   - no time.After in a select inside a loop. Each iteration allocates
+//     a timer the runtime cannot reclaim until it fires, so a tight
+//     retry/poll loop with a long timeout pins memory proportional to
+//     iteration rate; use time.NewTimer or time.NewTicker and reuse it.
+var Ctxlint = &Analyzer{
+	Name: "ctxlint",
+	Doc:  "serving packages must propagate request contexts and must not leak timers in poll loops",
+	Run:  runCtxlint,
+}
+
+func runCtxlint(pass *Pass) error {
+	if !servingPkg(pass.PkgPath) {
+		return nil
+	}
+	reported := map[token.Pos]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				obj := calleeObject(pass.Info, x)
+				for _, name := range []string{"Background", "TODO"} {
+					if isPkgFunc(obj, "context", name) {
+						pass.Reportf(x.Pos(), "context.%s() in a serving package detaches work from the request deadline and graceful drain; derive the context from the caller (//ebda:allow ctxlint for deliberate detachment)", name)
+					}
+				}
+			case *ast.ForStmt:
+				reportSelectAfter(pass, x.Body, reported)
+			case *ast.RangeStmt:
+				reportSelectAfter(pass, x.Body, reported)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportSelectAfter flags time.After channels in select clauses inside a
+// loop body. Function literals are skipped — their own loops are visited
+// independently — and nested loops dedupe through the reported set.
+func reportSelectAfter(pass *Pass, body *ast.BlockStmt, reported map[token.Pos]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			ch := commChanExpr(cc.Comm)
+			call, ok := ch.(*ast.CallExpr)
+			if !ok || reported[call.Pos()] {
+				continue
+			}
+			if isPkgFunc(calleeObject(pass.Info, call), "time", "After") {
+				reported[call.Pos()] = true
+				pass.Reportf(call.Pos(), "time.After in a select inside a loop allocates an uncollectable timer per iteration; hoist a time.NewTimer/NewTicker out of the loop and reuse it")
+			}
+		}
+		return true
+	})
+}
+
+// commChanExpr extracts the channel expression a select clause
+// communicates on, or nil.
+func commChanExpr(comm ast.Stmt) ast.Expr {
+	switch s := comm.(type) {
+	case *ast.SendStmt:
+		return ast.Unparen(s.Chan)
+	case *ast.ExprStmt:
+		if u, ok := s.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			return ast.Unparen(u.X)
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if u, ok := rhs.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				return ast.Unparen(u.X)
+			}
+		}
+	}
+	return nil
+}

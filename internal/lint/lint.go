@@ -59,7 +59,10 @@ type Pass struct {
 	// PkgPath is the package's import path (e.g. "ebda/internal/cdg").
 	PkgPath string
 	Info    *types.Info
-	report  func(Diagnostic)
+	// pkg is the loaded package behind the pass; interprocedural
+	// analyzers (deadlint) use it to reach module-local imports.
+	pkg    *Package
+	report func(Diagnostic)
 }
 
 // Reportf records a diagnostic at a position.
@@ -97,7 +100,7 @@ func (d Diagnostic) String() string {
 
 // All returns the full ebda-lint suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Detlint, Locklint, Hotpath, Verifygate}
+	return []*Analyzer{Detlint, Locklint, Hotpath, Verifygate, Deadlint, Ctxlint}
 }
 
 // Run applies the analyzers to a loaded package, drops diagnostics
@@ -114,6 +117,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Pkg:      pkg.Types,
 			PkgPath:  pkg.Path,
 			Info:     pkg.Info,
+			pkg:      pkg,
 		}
 		pass.report = func(d Diagnostic) {
 			if allow.suppressed(d) {
@@ -135,7 +139,14 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if out[i].Pos.Column != out[j].Pos.Column {
 			return out[i].Pos.Column < out[j].Pos.Column
 		}
-		return out[i].Analyzer < out[j].Analyzer
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
+		// Secondary sort on the message: a single analyzer can report
+		// more than once at one position (deadlint's per-cycle-edge
+		// diagnostics do), and golden tests, -json and SARIF output all
+		// need byte-deterministic ordering for that case too.
+		return out[i].Message < out[j].Message
 	})
 	return out, nil
 }

@@ -10,6 +10,20 @@ func TestLocklintGolden(t *testing.T)   { RunGolden(t, "locklint", Locklint) }
 func TestHotpathGolden(t *testing.T)    { RunGolden(t, "hotpath", Hotpath) }
 func TestVerifygateGolden(t *testing.T) { RunGolden(t, "verifygate", Verifygate) }
 
+// Deadlint goldens: the lock/wait graph cases. Each package is its own
+// universe (they import only sync), so the graphs stay independent.
+func TestDeadlintCleanGolden(t *testing.T)     { RunGolden(t, "deadlint/clean", Deadlint) }
+func TestDeadlintCyclicGolden(t *testing.T)    { RunGolden(t, "deadlint/cyclic", Deadlint) }
+func TestDeadlintRWMutexGolden(t *testing.T)   { RunGolden(t, "deadlint/rwmutex", Deadlint) }
+func TestDeadlintChanWaitGolden(t *testing.T)  { RunGolden(t, "deadlint/chanwait", Deadlint) }
+func TestDeadlintAllowGolden(t *testing.T)     { RunGolden(t, "deadlint/allow", Deadlint) }
+func TestDeadlintInterprocGolden(t *testing.T) { RunGolden(t, "deadlint/interproc", Deadlint) }
+
+// Ctxlint goldens: the /serve-suffixed package carries the serving
+// contract; the plain package pins that non-serving code is exempt.
+func TestCtxlintServeGolden(t *testing.T) { RunGolden(t, "ctxlint/serve", Ctxlint) }
+func TestCtxlintPlainGolden(t *testing.T) { RunGolden(t, "ctxlint/plain", Ctxlint) }
+
 // TestVerifygateServeGolden exercises the stricter serving-layer contract:
 // the golden package's import path ends in "/serve", so the uncached
 // entry points and Workspace verify methods are banned too.

@@ -25,6 +25,9 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// loader is the Loader this package came from, so whole-program
+	// analyses (deadlint) can pull in the ASTs of module-local imports.
+	loader *Loader
 }
 
 // Loader parses and type-checks packages of the enclosing module without
@@ -144,9 +147,20 @@ func (l *Loader) Load(dir string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
-	pkg := &Package{Path: path, Dir: abs, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	pkg := &Package{Path: path, Dir: abs, Fset: l.Fset, Files: files, Types: tpkg, Info: info, loader: l}
 	l.byDir[abs] = pkg
 	return pkg, nil
+}
+
+// LoadPath loads a module-local package by import path. Packages already
+// pulled in as dependencies of an earlier Load are returned from the
+// cache without re-parsing.
+func (l *Loader) LoadPath(path string) (*Package, error) {
+	if path != l.modPath && !strings.HasPrefix(path, l.modPath+"/") {
+		return nil, fmt.Errorf("lint: %s is not inside module %s", path, l.modPath)
+	}
+	dir := filepath.Join(l.modRoot, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")))
+	return l.Load(dir)
 }
 
 // importPathFor maps an absolute directory inside the module to its

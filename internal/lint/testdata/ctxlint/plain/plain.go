@@ -1,0 +1,24 @@
+// Package plain pins ctxlint's scope: the import path ends in neither
+// /serve nor /cluster, so root contexts and time.After loops — however
+// inadvisable — are out of this analyzer's jurisdiction and must not be
+// reported.
+package plain
+
+import (
+	"context"
+	"time"
+)
+
+func batchRoot() context.Context {
+	return context.Background()
+}
+
+func retry(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		case <-time.After(time.Second):
+		}
+	}
+}

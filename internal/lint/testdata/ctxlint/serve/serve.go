@@ -1,0 +1,82 @@
+// Package serve is ctxlint's golden file. Its import path ends in
+// "/serve", so the serving-layer context discipline applies: no fresh
+// root contexts, no per-iteration time.After timers in select loops.
+package serve
+
+import (
+	"context"
+	"time"
+)
+
+// detach mints a fresh root context in request-scoped code.
+func detach() context.Context {
+	return context.Background() // want `context\.Background\(\) in a serving package`
+}
+
+// todo is the placeholder variant of the same mistake.
+func todo() context.Context {
+	return context.TODO() // want `context\.TODO\(\) in a serving package`
+}
+
+// allowed is the deliberate detachment pattern: annotated, so silent.
+func allowed() context.Context {
+	//ebda:allow ctxlint golden: deliberate detachment
+	return context.Background()
+}
+
+// pollLoop allocates a fresh timer every iteration.
+func pollLoop(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		case <-time.After(time.Second): // want `time\.After in a select inside a loop`
+		}
+	}
+}
+
+// rangeLoop is the range-statement variant.
+func rangeLoop(items []int, done chan struct{}) {
+	for range items {
+		select {
+		case <-done:
+		case <-time.After(time.Millisecond): // want `time\.After in a select inside a loop`
+		}
+	}
+}
+
+// singleTimeout is fine: one timer, no loop around it.
+func singleTimeout(done chan struct{}) {
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+	}
+}
+
+// tickerLoop is the fix ctxlint wants: one reusable ticker.
+func tickerLoop(done chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// spawnedSelect launches a goroutine per iteration; the literal's select
+// is not itself in a loop on its own stack, so the loop rule does not
+// apply (the goroutine-per-iteration cost is a different analyzer's
+// business).
+func spawnedSelect(done chan struct{}) {
+	for i := 0; i < 3; i++ {
+		go func() {
+			select {
+			case <-done:
+			case <-time.After(time.Second):
+			}
+		}()
+	}
+}

@@ -1,0 +1,31 @@
+// Package allow is deadlint's suppression golden file: the same AB/BA
+// cycle as package cyclic, but both acquisition sites carry
+// //ebda:allow deadlint directives (one same-line, one line-above), so
+// the analyzer must stay silent. An unsuppressed hazard would fail the
+// golden run as an unexpected diagnostic.
+package allow
+
+import "sync"
+
+type locks struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+func (l *locks) ab() {
+	l.a.Lock()
+	//ebda:allow deadlint golden: suppression on the line above the site
+	l.b.Lock()
+	l.n++
+	l.b.Unlock()
+	l.a.Unlock()
+}
+
+func (l *locks) ba() {
+	l.b.Lock()
+	l.a.Lock() //ebda:allow deadlint golden: same-line suppression
+	l.n--
+	l.a.Unlock()
+	l.b.Unlock()
+}

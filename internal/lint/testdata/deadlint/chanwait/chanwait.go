@@ -1,0 +1,94 @@
+// Package chanwait is deadlint's wait-under-lock golden file: blocking
+// channel operations, selects and WaitGroup waits executed while a mutex
+// is held are hazards even though the graph stays acyclic (waits are
+// sinks). Cond.Wait is the contract-mandated exception, and a select
+// with a default clause is non-blocking.
+package chanwait
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	c  *sync.Cond
+	v  int
+}
+
+// recvUnderLock blocks on a receive while holding mu.
+func (b *box) recvUnderLock(ch chan int) {
+	b.mu.Lock()
+	b.v = <-ch // want `blocking receive on .* while holding .*box\.mu`
+	b.mu.Unlock()
+}
+
+// sendUnderLock blocks on a send while holding mu.
+func (b *box) sendUnderLock(ch chan int) {
+	b.mu.Lock()
+	ch <- b.v // want `blocking send on .* while holding .*box\.mu`
+	b.mu.Unlock()
+}
+
+// waitGroupUnderLock blocks on workers finishing while holding mu; if a
+// worker needs mu to finish, this never returns.
+func (b *box) waitGroupUnderLock() {
+	b.mu.Lock()
+	b.wg.Wait() // want `blocking WaitGroup\.Wait on .* while holding .*box\.mu`
+	b.mu.Unlock()
+}
+
+// selectUnderLock blocks in a select with no default while holding mu.
+func (b *box) selectUnderLock(ch chan int) {
+	b.mu.Lock()
+	select {
+	case v := <-ch: // want `blocking select on .* while holding .*box\.mu`
+		b.v = v
+	}
+	b.mu.Unlock()
+}
+
+// pollUnderLock is the non-blocking variant: the default clause means
+// nothing waits while mu is held.
+func (b *box) pollUnderLock(ch chan int) {
+	b.mu.Lock()
+	select {
+	case v := <-ch:
+		b.v = v
+	default:
+	}
+	b.mu.Unlock()
+}
+
+// condWait is the blessed pattern: Cond.Wait requires its locker held
+// and releases it while waiting, so no hazard is reported.
+func (b *box) condWait() {
+	b.mu.Lock()
+	for b.v == 0 {
+		b.c.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// dual holds two mutexes across one wait: two hazards at one position,
+// which also pins the suite's deterministic secondary ordering (same
+// file, line, column and analyzer — messages must sort the output).
+type dual struct {
+	l1 sync.Mutex
+	l2 sync.Mutex
+	v  int
+}
+
+func (d *dual) doubleHold(ch chan int) {
+	d.l1.Lock()
+	d.l2.Lock()
+	d.v = <-ch // want `while holding .*dual\.l1` `while holding .*dual\.l2`
+	d.l2.Unlock()
+	d.l1.Unlock()
+}
+
+// unlockFirst drops mu before blocking — the fix deadlint wants.
+func (b *box) unlockFirst(ch chan int) {
+	b.mu.Lock()
+	v := b.v
+	b.mu.Unlock()
+	ch <- v
+}

@@ -1,0 +1,78 @@
+// Package clean is deadlint's must-stay-silent golden file: every lock
+// pair is taken in one global order, every blocking wait happens after
+// the locks are dropped, and the only channel operations under a lock are
+// non-blocking. The package's lock/wait graph is acyclic and hazard-free,
+// so the analyzer must report nothing here.
+package clean
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+// both nests the locks in the canonical a-then-b order.
+func (p *pair) both() {
+	p.a.Lock()
+	p.b.Lock()
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// deferred takes the same order with deferred unlocks; the defers must
+// not be mistaken for early releases (or for late re-acquisitions).
+func (p *pair) deferred() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.n--
+}
+
+// inner locks b alone; callers holding a stay consistent with the a-b
+// order, so the interprocedural edge is parallel to the direct one.
+func (p *pair) inner() {
+	p.b.Lock()
+	p.n++
+	p.b.Unlock()
+}
+
+// through holds a across a call that acquires b — an a->b edge again.
+func (p *pair) through() {
+	p.a.Lock()
+	p.inner()
+	p.a.Unlock()
+}
+
+// unlockBeforeWait drops the lock before blocking on the channel.
+func (p *pair) unlockBeforeWait(ch chan int) {
+	p.a.Lock()
+	v := p.n
+	p.a.Unlock()
+	ch <- v
+}
+
+// nonBlockingUnderLock polls under the lock; the default clause makes
+// every arm non-blocking, so no wait happens while a is held.
+func (p *pair) nonBlockingUnderLock(ch chan int) {
+	p.a.Lock()
+	select {
+	case v := <-ch:
+		p.n = v
+	default:
+	}
+	p.a.Unlock()
+}
+
+// spawned blocks inside a goroutine launched under the lock; the literal
+// runs on its own stack with nothing held, so there is no hazard.
+func (p *pair) spawned(ch chan int) {
+	p.a.Lock()
+	go func() {
+		<-ch
+	}()
+	p.a.Unlock()
+}

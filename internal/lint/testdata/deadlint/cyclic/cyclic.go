@@ -1,0 +1,31 @@
+// Package cyclic is deadlint's AB/BA golden file: two functions take the
+// same two mutexes in opposite orders, the classic two-party deadlock.
+// The engine's cycle witness covers both edges, and each is reported at
+// its own acquisition site with the full ordered chain attached.
+package cyclic
+
+import "sync"
+
+type locks struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+// ab nests a then b.
+func (l *locks) ab() {
+	l.a.Lock()
+	l.b.Lock() // want `lock-order cycle: holds .*locks\.a while acquiring .*locks\.b; full cycle: .*cyclic\.go:\d+.*cyclic\.go:\d+`
+	l.n++
+	l.b.Unlock()
+	l.a.Unlock()
+}
+
+// ba nests b then a — the reverse order that closes the cycle.
+func (l *locks) ba() {
+	l.b.Lock()
+	l.a.Lock() // want `lock-order cycle: holds .*locks\.b while acquiring .*locks\.a`
+	l.n--
+	l.a.Unlock()
+	l.b.Unlock()
+}

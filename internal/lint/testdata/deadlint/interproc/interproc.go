@@ -1,0 +1,48 @@
+// Package interproc is deadlint's call-graph golden file: neither
+// function nests two Lock calls textually — each holds its own mutex
+// across a call into the other type, and the callee's acquisition set
+// (propagated by the summary fixpoint) closes the cycle. The diagnostics
+// land on the call sites and name the callee in the edge description.
+package interproc
+
+import "sync"
+
+type svc struct {
+	mu sync.Mutex
+	n  int
+}
+
+type store struct {
+	mu sync.Mutex
+	m  map[int]int
+}
+
+// get locks the store alone.
+func (st *store) get(k int) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.m[k]
+}
+
+// bump locks the service alone.
+func (s *svc) bump() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// readThrough holds svc.mu across a call that acquires store.mu.
+func (s *svc) readThrough(st *store, k int) {
+	s.mu.Lock()
+	s.n = st.get(k) // want `lock-order cycle: holds .*svc\.mu while calls interproc\.store\.get, which acquires .*store\.mu`
+	s.mu.Unlock()
+}
+
+// writeBack holds store.mu across a call that acquires svc.mu — the
+// reverse interprocedural order that closes the cycle.
+func (st *store) writeBack(s *svc, k int) {
+	st.mu.Lock()
+	st.m[k] = 0
+	s.bump() // want `lock-order cycle: holds .*store\.mu while calls interproc\.svc\.bump, which acquires .*svc\.mu`
+	st.mu.Unlock()
+}

@@ -1,0 +1,35 @@
+// Package rwmutex is deadlint's reader/writer golden file: an RWMutex
+// participates in a lock-order cycle through its read side. A reader
+// holding state.RLock blocks a writer waiting in state.Lock, so
+// RLock-then-side in one function and side-then-Lock in another deadlock
+// exactly like two plain mutexes — read and write acquisitions share one
+// graph node by design.
+package rwmutex
+
+import "sync"
+
+type guard struct {
+	state sync.RWMutex
+	side  sync.Mutex
+	n     int
+}
+
+// readThenSide acquires the side mutex under a read lock.
+func (g *guard) readThenSide() int {
+	g.state.RLock()
+	g.side.Lock() // want `lock-order cycle: holds .*guard\.state while acquiring .*guard\.side`
+	v := g.n
+	g.side.Unlock()
+	g.state.RUnlock()
+	return v
+}
+
+// sideThenWrite acquires the write lock under the side mutex — the
+// reverse order.
+func (g *guard) sideThenWrite(v int) {
+	g.side.Lock()
+	g.state.Lock() // want `lock-order cycle: holds .*guard\.side while acquiring .*guard\.state`
+	g.n = v
+	g.state.Unlock()
+	g.side.Unlock()
+}

@@ -1,0 +1,49 @@
+package lockdata
+
+// Go 1.22 gave loop variables per-iteration scope, and the pre-1.22
+// shadowing idioms produce genuinely distinct variables. This file pins
+// locklint's boundary: only a direct capture of the range/for-init
+// variable itself is flagged; per-iteration derivations — a shadowing
+// re-declaration, a body-scoped local, or the parameter idiom — must
+// stay silent.
+
+// shadowed re-declares the loop variable in the body; the closure's x is
+// the shadow, not the loop variable.
+func shadowed(xs []int, out chan<- int) {
+	for _, x := range xs {
+		x := x
+		go func() {
+			out <- x
+		}()
+	}
+}
+
+// bodyLocal closes over a body-scoped derivation of the loop variable.
+func bodyLocal(xs []int, out chan<- int) {
+	for _, x := range xs {
+		doubled := x * 2
+		go func() {
+			out <- doubled
+		}()
+	}
+}
+
+// forInitShadow is the three-clause variant of the shadowing idiom.
+func forInitShadow(n int, out chan<- int) {
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			out <- i
+		}()
+	}
+}
+
+// forInitCaptured is the direct capture of a for-init variable — still
+// flagged, matching the range case in lock.go.
+func forInitCaptured(n int, out chan<- int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			out <- i // want `captures loop variable i`
+		}()
+	}
+}

@@ -57,6 +57,7 @@ var uncachedVerifyFuncs = map[string]bool{
 	"VerifyTurnSet": true, "VerifyTurnSetJobs": true, "VerifyTurnSetCtx": true,
 	"VerifyChain": true, "VerifyRelation": true, "VerifyRelationJobs": true,
 	"BuildFromTurnSet": true, "BuildFromTurnSetJobs": true,
+	"VerifyEdgeSet": true, "VerifyEdgeSetJobs": true,
 }
 
 // deltaBypassFuncs construct retained delta workspaces directly,

@@ -63,6 +63,10 @@ func (g *flightGroup) do(ctx context.Context, key, check uint64, timeout time.Du
 		return rep, true, err
 	}
 	c := &flightCall{check: check, done: make(chan struct{}), refs: 1}
+	// The flight deliberately detaches from the first caller's context:
+	// later joiners must not lose the result because the first requester
+	// hung up. Cancellation happens via refcount in wait().
+	//ebda:allow ctxlint detached coalesced flight outlives its first caller
 	base, cancel := context.WithCancel(context.Background())
 	c.cancel = cancel
 	g.m[key] = c
