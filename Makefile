@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-diff bench-delta bench-cluster cluster-soak repro fmt vet lint lint-sarif obs-smoke serve-smoke fuzz-short check clean
+.PHONY: all build test race bench bench-json bench-diff bench-delta bench-cluster cluster-soak repro fmt vet lint lint-sarif obs-smoke trace-smoke serve-smoke fuzz-short check clean
 
 all: check
 
@@ -84,6 +84,13 @@ lint-sarif: vet
 obs-smoke:
 	$(GO) run ./cmd/ebda-obssmoke
 
+# trace-smoke pins the tracing determinism contract: two identical
+# sampled runs on fresh in-process replicas must render byte-identical
+# canonical span trees (names, nesting, attributes — IDs and timings
+# stripped).
+trace-smoke:
+	$(GO) run ./cmd/ebda-obssmoke -trace
+
 # serve-smoke starts ebda-serve on a loopback port, drives the fixed
 # seeded loadgen workload against it (-smoke: zero 5xx, >=1 coalesced
 # request, byte-identical verdicts for repeated identical requests,
@@ -99,9 +106,10 @@ fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeVerifyRequest -fuzztime=5s ./internal/serve
 
 # race is part of check so the worker pools are race-tested routinely;
-# obs-smoke keeps the -obs-json determinism contract honest; serve-smoke
-# and fuzz-short guard the HTTP serving layer end to end.
-check: build lint test race obs-smoke serve-smoke fuzz-short
+# obs-smoke keeps the -obs-json determinism contract honest; trace-smoke
+# does the same for request traces; serve-smoke and fuzz-short guard the
+# HTTP serving layer end to end.
+check: build lint test race obs-smoke trace-smoke serve-smoke fuzz-short
 
 clean:
 	$(GO) clean ./...

@@ -52,6 +52,7 @@ import (
 	"ebda/internal/core"
 	"ebda/internal/obs"
 	"ebda/internal/obs/obshttp"
+	"ebda/internal/obs/trace"
 	"ebda/internal/serve"
 	"ebda/internal/topology"
 )
@@ -228,6 +229,11 @@ func run(argv []string, out, errw io.Writer) int {
 	// networks, computed locally through the cached engine.
 	deltaOK, deltaMsg := deltaEquivalence(client, baseURL, baseKey)
 
+	// Phase 3c: trace evidence — the flight recorder at /debug/traces
+	// captured the run, and the slowest captured trace's span tree
+	// accounts for the latency it reports.
+	traced, traceOK, traceMsg := traceEvidence(client, baseURL)
+
 	// Phase 4 (in-process only): the drain contract. /readyz answers 200
 	// while serving and 503 once shutdown begins.
 	drainOK := true
@@ -249,6 +255,7 @@ func run(argv []string, out, errw io.Writer) int {
 		QueueDepth:  resolved.QueueDepth,
 		Seed:        *seed,
 		WallSeconds: wall,
+		Traced:      traced,
 	}
 	latencies := make([]float64, 0, len(results))
 	invalidBad := 0
@@ -302,7 +309,7 @@ func run(argv []string, out, errw io.Writer) int {
 	fmt.Fprintf(out, "requests %d  2xx %d  4xx %d  5xx %d\n", b.Requests, b.Status2xx, b.Status4xx, b.Status5xx)
 	fmt.Fprintf(out, "verdicts: cache %d  computed %d  coalesced %d  delta %d (coalesce rate %.3f)\n",
 		b.Cache, b.Computed, b.Coalesced, b.Deltas, b.CoalesceRate)
-	fmt.Fprintf(out, "latency: p50 %.2fms  p99 %.2fms  throughput %.1f req/s\n", b.P50Millis, b.P99Millis, b.ThroughputRPS)
+	fmt.Fprintf(out, "latency: p50 %.2fms  p99 %.2fms  throughput %.1f req/s  traced %d\n", b.P50Millis, b.P99Millis, b.ThroughputRPS, b.Traced)
 
 	if *smoke {
 		violations := 0
@@ -327,6 +334,12 @@ func run(argv []string, out, errw io.Writer) int {
 		}
 		if !deltaOK {
 			fail("delta equivalence: %s", deltaMsg)
+		}
+		if local != nil && traced < 1 {
+			fail("the flight recorder captured no traces")
+		}
+		if !traceOK {
+			fail("trace evidence: %s", traceMsg)
 		}
 		if !drainOK {
 			fail("drain contract: %s", drainMsg)
@@ -602,6 +615,61 @@ func deltaEquivalence(client *http.Client, baseURL, baseKey string) (bool, strin
 		}
 	}
 	return true, ""
+}
+
+// traceEvidence pulls the flight recorder at /debug/traces, counts the
+// captured traces and checks the slowest one against its own report:
+// the summed duration of its top-level spans must sit within
+// max(10ms, 50%) of the trace's duration_ms. A trace that reported
+// latency its spans cannot account for means the recorder dropped or
+// mislinked part of the request's tree.
+func traceEvidence(client *http.Client, baseURL string) (int, bool, string) {
+	resp, err := client.Get(baseURL + "/debug/traces")
+	if err != nil {
+		return 0, false, err.Error()
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, false, fmt.Sprintf("/debug/traces: status %d", resp.StatusCode)
+	}
+	var page struct {
+		Traces []trace.TraceJSON `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &page); err != nil {
+		return 0, false, "/debug/traces: " + err.Error()
+	}
+	if len(page.Traces) == 0 {
+		return 0, true, ""
+	}
+	slowest := page.Traces[0]
+	for _, tj := range page.Traces[1:] {
+		if tj.DurationMs > slowest.DurationMs {
+			slowest = tj
+		}
+	}
+	// Top-level spans: the origin root, plus any span whose parent
+	// fragment was overwritten out of the ring. Children nest inside
+	// them, so summing only the top level never double-counts.
+	present := make(map[string]bool, len(slowest.Spans))
+	for _, sp := range slowest.Spans {
+		present[sp.ID] = true
+	}
+	var sumMS float64
+	for _, sp := range slowest.Spans {
+		if sp.Parent == "" || !present[sp.Parent] {
+			sumMS += float64(sp.DurMicros) / 1e3
+		}
+	}
+	tol := 10.0
+	if half := slowest.DurationMs / 2; half > tol {
+		tol = half
+	}
+	if diff := sumMS - slowest.DurationMs; diff > tol || diff < -tol {
+		return len(page.Traces), false, fmt.Sprintf("slowest trace %s: span sum %.2fms vs reported %.2fms (tolerance %.2fms)",
+			slowest.ID, sumMS, slowest.DurationMs, tol)
+	}
+	return len(page.Traces), true, ""
 }
 
 // identicalVerdicts posts the same request twice sequentially and

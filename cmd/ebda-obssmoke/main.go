@@ -6,17 +6,31 @@
 // timing-dependent fields are canonicalised — the determinism contract
 // the -obs-json dump advertises.
 //
+// With -trace it instead checks the tracing determinism contract behind
+// `make trace-smoke`: two fresh in-process replicas each serve the same
+// fixed sequential request sequence with every trace retained, and the
+// canonical text renderings of their flight recorders — span names,
+// nesting, attributes, status and provenance, with IDs and timings
+// stripped — must be byte-identical.
+//
 // Exit status: 0 on success, 1 on assertion failure, 2 on setup errors.
 package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 
+	"ebda/internal/cdg"
 	"ebda/internal/obs"
+	"ebda/internal/obs/obshttp"
+	"ebda/internal/obs/trace"
+	"ebda/internal/serve"
 )
 
 // verifyArgs is the deterministic workload: -jobs 1 keeps workspace-pool
@@ -40,11 +54,90 @@ var requiredCounters = []string{
 }
 
 func main() {
+	traceMode := flag.Bool("trace", false, "check trace determinism instead of the -obs-json contract")
+	flag.Parse()
+	if *traceMode {
+		if err := runTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "ebda-obssmoke:", err)
+			os.Exit(1)
+		}
+		fmt.Println("trace-smoke: ok (identical sampled runs render identical canonical span trees)")
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "ebda-obssmoke:", err)
 		os.Exit(1)
 	}
 	fmt.Println("obs-smoke: ok (snapshots parse, required series present, canonical dumps identical)")
+}
+
+// traceWorkload is the fixed sequential request sequence both replicas
+// serve: a cold verify, the identical request again (a cache hit), a
+// second design, and one single-link delta against the first.
+var traceWorkload = []struct{ path, body string }{
+	{"/v1/verify", `{"network":{"kind":"mesh","sizes":[8,8]},"chain":"PA[X+ X- Y-] -> PB[Y+]"}`},
+	{"/v1/verify", `{"network":{"kind":"mesh","sizes":[8,8]},"chain":"PA[X+ X- Y-] -> PB[Y+]"}`},
+	{"/v1/verify", `{"network":{"kind":"torus","sizes":[6,6]},"chain":"PA[X+ Y+] -> PB[X- Y-]"}`},
+	{"/v1/verify/delta", `{"base":{"network":{"kind":"mesh","sizes":[8,8]},"chain":"PA[X+ X- Y-] -> PB[Y+]"},"remove_links":[{"at":[2,3],"dir":"X+"}]}`},
+}
+
+// runTrace asserts trace determinism: two identical sampled runs on
+// fresh replicas produce byte-identical canonical span trees.
+func runTrace() error {
+	canonRun := func() (string, error) {
+		rec := trace.NewRecorder(64, 16)
+		tr := trace.New(trace.Config{
+			Fragment:      "smoke",
+			SampleEvery:   1,  // retain every request
+			SlowThreshold: -1, // the slow lane would double-record slow runs
+			Recorder:      rec,
+		})
+		srv := serve.NewReplica(serve.Config{Workers: 1, Jobs: 1, Tracer: tr}, &cdg.VerifyCache{})
+		mux := obshttp.Mux(obs.NewRegistry(), srv.Ready)
+		srv.Register(mux)
+		ts := httptest.NewServer(mux)
+		defer ts.Close()
+		for i, req := range traceWorkload {
+			resp, err := ts.Client().Post(ts.URL+req.path, "application/json", strings.NewReader(req.body))
+			if err != nil {
+				return "", fmt.Errorf("request %d: %w", i, err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				return "", fmt.Errorf("request %d: status %d", i, resp.StatusCode)
+			}
+		}
+		var b bytes.Buffer
+		for _, tj := range trace.Collect(rec.Snapshot()) {
+			if err := tj.WriteCanonicalText(&b); err != nil {
+				return "", err
+			}
+		}
+		return b.String(), nil
+	}
+	// The delta request checks out a workspace from the process-global
+	// cdg.DefaultDeltaPool: the first run in a process builds it (its
+	// trace carries the base verification), later runs reuse it. A
+	// warm-up pass primes the pool so the two measured runs see the same
+	// pool state and must render identically.
+	if _, err := canonRun(); err != nil {
+		return err
+	}
+	a, err := canonRun()
+	if err != nil {
+		return err
+	}
+	b, err := canonRun()
+	if err != nil {
+		return err
+	}
+	if a == "" {
+		return fmt.Errorf("flight recorder captured no traces with SampleEvery=1")
+	}
+	if a != b {
+		return fmt.Errorf("canonical span trees differ between identical runs:\n--- run 1\n%s\n--- run 2\n%s", a, b)
+	}
+	return nil
 }
 
 func run() error {

@@ -3,8 +3,15 @@
 // POST /v1/design (the verified Algorithm 1/2 option family for a VC
 // budget) and POST /v1/batch (up to 64 designs per call). The same mux
 // serves the introspection set — /metrics, /debug/vars, /debug/pprof,
-// /healthz and /readyz — so one port carries both the API and its
-// observability.
+// /debug/traces, /healthz and /readyz — so one port carries both the
+// API and its observability.
+//
+// Every request records a span tree; -trace-sample keeps every Nth one
+// in the /debug/traces flight-recorder ring, and anything slower than
+// -trace-slow (or answered 5xx) lands in the always-capture slow lane.
+// In cluster mode peer hops carry X-Ebda-Trace, so one trace shows
+// edge-replica and owner-replica causality; GET /v1/cluster/metrics
+// merges every replica's /metrics view into one fleet snapshot.
 //
 // Admission is a bounded queue in front of a fixed worker pool: a full
 // queue answers 429, a draining server answers 503, and a request past
@@ -113,13 +120,17 @@ func run() int {
 	noForward := flag.Bool("no-forward", false, "cluster mode: probe peer caches but never proxy compute")
 	snapLoad := flag.String("snapshot-load", "", "warm-start the verify cache from this snapshot file")
 	snapSave := flag.String("snapshot-save", "", "write a verify-cache snapshot here after a clean drain")
+	traceSample := flag.Int("trace-sample", 0, "retain every Nth request trace in /debug/traces (0 = default 16, negative = slow/error lane only)")
+	traceSlow := flag.Duration("trace-slow", 0, "always capture traces at least this slow (0 = default 250ms, negative disables latency capture)")
 	flag.Parse()
 
 	cfg := serve.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		Timeout:    *timeout,
-		Jobs:       *jobs,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		Timeout:     *timeout,
+		Jobs:        *jobs,
+		TraceSample: *traceSample,
+		TraceSlow:   *traceSlow,
 	}
 	if *name != "" {
 		peers, err := parsePeers(*peersSpec)

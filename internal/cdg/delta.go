@@ -10,6 +10,7 @@ import (
 
 	"ebda/internal/channel"
 	"ebda/internal/core"
+	"ebda/internal/obs/trace"
 	"ebda/internal/topology"
 )
 
@@ -288,6 +289,9 @@ func (dw *DeltaWorkspace) VerifyDiffCtx(ctx context.Context, diff Diff, jobs int
 		obsVerifyCancelled.Inc()
 		return Report{}, err
 	}
+	tc := trace.FromContext(ctx)
+	dsp := tc.StartSpan("cdg.delta")
+	defer dsp.End()
 	sp := phaseDelta.Start()
 	defer sp.End()
 	obsDeltaVerifies.Inc()
@@ -298,11 +302,18 @@ func (dw *DeltaWorkspace) VerifyDiffCtx(ctx context.Context, diff Diff, jobs int
 		return rep, nil
 	}
 	defer dw.rollback()
+	psp := tc.StartSpan("cdg.patch")
 	if err := dw.planDiff(diff); err != nil {
+		psp.End()
 		return Report{}, err
 	}
 	dw.applyOps()
+	psp.SetInt("removed", int64(len(dw.rmOps)))
+	psp.SetInt("added", int64(len(dw.addOps)))
+	psp.End()
+	rsp := tc.StartSpan("cdg.repeel")
 	rep, err := dw.repeel(ctx, jobs)
+	rsp.End()
 	if err != nil {
 		return Report{}, err
 	}

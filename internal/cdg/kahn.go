@@ -3,6 +3,8 @@ package cdg
 import (
 	"context"
 	"sync/atomic"
+
+	"ebda/internal/obs/trace"
 )
 
 // This file implements the parallel acyclicity fast path: a Kahn
@@ -89,6 +91,7 @@ func kahnPeelAdj(ctx context.Context, adj [][]int32, jobs int, st *acyclicState)
 	if nc == 0 {
 		return 0, ctx.Err()
 	}
+	ksp := trace.FromContext(ctx).StartSpan("cdg.kahn")
 	workers := resolveJobs(jobs, nc)
 	indeg := st.indeg
 	// In-degree accumulation: rows shard by channel; targets are shared,
@@ -129,6 +132,9 @@ func kahnPeelAdj(ctx context.Context, adj [][]int32, jobs int, st *acyclicState)
 			st.frontier = frontier
 			obsKahnRounds.Add(rounds)
 			obsVerifyCancelled.Inc()
+			ksp.SetInt("rounds", int64(rounds))
+			ksp.SetInt("cancelled", 1)
+			ksp.End()
 			return peeled, err
 		}
 		rounds++
@@ -163,6 +169,9 @@ func kahnPeelAdj(ctx context.Context, adj [][]int32, jobs int, st *acyclicState)
 	}
 	st.frontier = frontier
 	obsKahnRounds.Add(rounds)
+	ksp.SetInt("rounds", int64(rounds))
+	ksp.SetInt("peeled", int64(peeled))
+	ksp.End()
 	return peeled, nil
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"ebda/internal/channel"
 	"ebda/internal/core"
+	"ebda/internal/obs/trace"
 	"ebda/internal/topology"
 )
 
@@ -94,16 +95,28 @@ func (ws *Workspace) VerifyTurnSetCtx(ctx context.Context, ts *core.TurnSet, job
 		obsVerifyCancelled.Inc()
 		return Report{}, err
 	}
+	tc := trace.FromContext(ctx)
+	vsp := tc.StartSpan("cdg.verify")
 	sp := phaseVerify.Start()
 	ws.Reset()
 	if ws.matched == nil {
 		ws.matched = make([][]int32, len(ws.g.channels))
 	}
+	tesp := tc.StartSpan("cdg.edges")
 	esp := phaseEdges.Start()
 	ws.g.addTurnEdges(ts, jobs, ws.matched)
 	esp.End()
+	tesp.SetInt("edges", int64(ws.g.NumEdges()))
+	tesp.End()
 	rep, err := ws.report(ctx, jobs)
 	sp.End()
+	vsp.SetInt("channels", int64(rep.Channels))
+	if rep.Acyclic {
+		vsp.SetInt("acyclic", 1)
+	} else {
+		vsp.SetInt("acyclic", 0)
+	}
+	vsp.End()
 	return rep, err
 }
 

@@ -21,10 +21,32 @@ import (
 // workspace-owned scratch, and capacity-hinted make() are all recognised
 // as clean. The directive is the contract: annotate a function and the
 // analyzer keeps future edits allocation-lean.
+//
+// Calls into ebda/internal/obs/trace are held to the package's own
+// contract: annotated functions may use only the zero-alloc record path
+// — trace.FromContext, Trace.StartSpan and the SpanRef methods
+// End/SetInt/SetStr. Minting (Tracer.Start/StartRemote), finishing,
+// ID/header rendering and the render layer all allocate or format, and
+// belong outside the hot path.
 var Hotpath = &Analyzer{
 	Name: "hotpath",
 	Doc:  "flags allocation hazards inside functions annotated //ebda:hotpath",
 	Run:  runHotpath,
+}
+
+// tracePath is the request-tracing package whose record-path contract
+// hotpath enforces inside annotated functions.
+const tracePath = "ebda/internal/obs/trace"
+
+// hotpathTraceFastPath is the zero-alloc record set — the only trace
+// calls permitted in //ebda:hotpath functions. Keys are "Func" for
+// package functions and "Recv.Method" for methods.
+var hotpathTraceFastPath = map[string]bool{
+	"FromContext":     true,
+	"Trace.StartSpan": true,
+	"SpanRef.End":     true,
+	"SpanRef.SetInt":  true,
+	"SpanRef.SetStr":  true,
 }
 
 func runHotpath(pass *Pass) error {
@@ -54,6 +76,16 @@ func hotpathFunc(pass *Pass, fd *ast.FuncDecl) {
 			obj := calleeObject(pass.Info, x)
 			if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
 				pass.Reportf(x.Pos(), "fmt.%s in //ebda:hotpath function %s allocates; format outside the hot path", fn.Name(), fd.Name.Name)
+				return true
+			}
+			if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == tracePath && pass.PkgPath != tracePath {
+				key := fn.Name()
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					key = recvNamed(sig.Recv().Type()) + "." + fn.Name()
+				}
+				if !hotpathTraceFastPath[key] {
+					pass.Reportf(x.Pos(), "trace call trace.%s in //ebda:hotpath function %s is off the zero-alloc record path; only FromContext, Trace.StartSpan and SpanRef.End/SetInt/SetStr may run there", key, fd.Name.Name)
+				}
 				return true
 			}
 			if b, ok := obj.(*types.Builtin); ok {

@@ -34,11 +34,17 @@ func TestVerifygateServeGolden(t *testing.T) { RunGolden(t, "verifygate/serve", 
 // the uncached entry points and hand-built Reports are banned there too.
 func TestVerifygateClusterGolden(t *testing.T) { RunGolden(t, "verifygate/cluster", Verifygate) }
 
+// TestVerifygateObshttpGolden exercises the observability-layer contract:
+// an "/obshttp" import path marks debug/metrics handlers, which read
+// published state and may never drive the verify engine — every cdg
+// Verify* call is flagged there, cached or not.
+func TestVerifygateObshttpGolden(t *testing.T) { RunGolden(t, "verifygate/obshttp", Verifygate) }
+
 // TestSuiteCleanOnEngine runs the full suite over the packages that carry
 // the invariants it guards — the engine itself must lint clean, so a
 // regression in cdg/core/routing fails here as well as in make lint.
 func TestSuiteCleanOnEngine(t *testing.T) {
-	for _, rel := range []string{"internal/cdg", "internal/core", "internal/routing", "internal/serve", "internal/cluster"} {
+	for _, rel := range []string{"internal/cdg", "internal/core", "internal/routing", "internal/serve", "internal/cluster", "internal/obs", "internal/obs/trace", "internal/obs/obshttp"} {
 		pkg := loadRepoPackage(t, rel)
 		diags, err := Run(pkg, All())
 		if err != nil {

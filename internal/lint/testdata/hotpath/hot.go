@@ -5,9 +5,11 @@
 package hotdata
 
 import (
+	"context"
 	"fmt"
 
 	"ebda/internal/obs"
+	"ebda/internal/obs/trace"
 )
 
 // sink keeps results alive without more allocations.
@@ -86,6 +88,34 @@ func instrumented(rows [][]int32) int {
 	}
 	sp.End()
 	return total
+}
+
+// tracedFastPath stays on the zero-alloc record set: FromContext,
+// StartSpan and the SpanRef attribute/End calls are hot-path safe, so an
+// annotated function may record spans without tripping the analyzer.
+//
+//ebda:hotpath
+func tracedFastPath(ctx context.Context, rows [][]int32) int {
+	sp := trace.FromContext(ctx).StartSpan("hotdata.sum")
+	total := 0
+	for _, row := range rows {
+		total += len(row)
+	}
+	sp.SetInt("rows", int64(len(rows)))
+	sp.SetStr("kind", "golden")
+	sp.End()
+	return total
+}
+
+// tracedSlowPath reaches off the record path: minting, ID rendering and
+// finishing allocate or take locks, and belong outside the hot path.
+//
+//ebda:hotpath
+func tracedSlowPath(tr *trace.Tracer) string {
+	t := tr.Start("hotdata.slow") // want `trace call trace.Tracer.Start in`
+	id := t.ID()                  // want `trace call trace.Trace.ID in`
+	t.Finish(200)                 // want `trace call trace.Trace.Finish in`
+	return id
 }
 
 //ebda:hotpath

@@ -35,6 +35,13 @@ const cdgPath = "ebda/internal/cdg"
 // cdg.DeltaPool, or calling its Verify methods directly — a bypassed
 // delta verdict would be unmemoized and uncoalescible.
 //
+// The observability layer (ebda/internal/obs and everything under it,
+// including obshttp and any /obshttp-suffixed package) carries the
+// opposite contract: /debug and metrics handlers read published state —
+// snapshots, trace rings, cache lookups — and never drive the verify
+// engine. Any cdg Verify* call there, cached or not, would let a debug
+// scrape enqueue verification work, so all of them are flagged.
+//
 // Diagnostic tooling that genuinely needs the raw graph (DOT export,
 // topological witnesses) may carry //ebda:allow verifygate with a
 // justification; everything on the result-producing path may not.
@@ -77,11 +84,21 @@ func servingPkg(path string) bool {
 		path == "ebda/internal/cluster" || strings.HasSuffix(path, "/cluster")
 }
 
+// obsPkg reports whether an import path belongs to the observability
+// layer: the obs registry, its subpackages (trace, obshttp), and any
+// /obshttp-suffixed package such as the golden testdata.
+func obsPkg(path string) bool {
+	return path == "ebda/internal/obs" ||
+		strings.HasPrefix(path, "ebda/internal/obs/") ||
+		strings.HasSuffix(path, "/obshttp")
+}
+
 func runVerifygate(pass *Pass) error {
 	if pass.PkgPath == cdgPath {
 		return nil
 	}
 	serving := servingPkg(pass.PkgPath)
+	observ := obsPkg(pass.PkgPath)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch x := n.(type) {
@@ -92,6 +109,10 @@ func runVerifygate(pass *Pass) error {
 				}
 				sig, ok := fn.Type().(*types.Signature)
 				if !ok {
+					return true
+				}
+				if observ && strings.HasPrefix(fn.Name(), "Verify") {
+					pass.Reportf(x.Pos(), "verification call cdg.%s from the observability layer; /debug and metrics handlers read published state, they never drive the verify engine", fn.Name())
 					return true
 				}
 				if sig.Recv() == nil {

@@ -17,11 +17,13 @@ import (
 	"os"
 
 	"ebda/internal/obs"
+	"ebda/internal/obs/trace"
 )
 
-// Mux routes /metrics, /debug/vars, /debug/pprof/*, /healthz and /readyz
-// for one registry, returning the mux so callers (ebda-serve) can add
-// their own routes beside the introspection set. ready gates /readyz: nil
+// Mux routes /metrics, /debug/vars, /debug/traces (the process-wide
+// flight recorder), /debug/pprof/*, /healthz and /readyz for one
+// registry, returning the mux so callers (ebda-serve) can add their own
+// routes beside the introspection set. ready gates /readyz: nil
 // means always ready; a false return (a draining server) answers 503 so
 // load balancers stop routing new work while in-flight requests finish.
 // /healthz is liveness and always answers 200 — a draining process is
@@ -40,6 +42,7 @@ func Mux(reg *obs.Registry, ready func() bool) *http.ServeMux {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.Handle("/debug/traces", TracesHandler(trace.DefaultRecorder))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,91 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"ebda/internal/obs/trace"
+)
+
+// TracesHandler serves a flight recorder's contents. The default
+// response is JSON: the merged distributed traces (fragments sharing a
+// trace ID folded together), newest first. Query parameters narrow and
+// reshape it:
+//
+//	min_ms=N       only traces at least N milliseconds long
+//	status=N       only traces that finished with HTTP status N
+//	n=N            at most N traces (after filtering)
+//	format=text    indented span trees instead of JSON
+//	canonical=1    with format=text: omit IDs and timings, keeping
+//	               names, nesting, attributes, status and provenance —
+//	               byte-identical across runs of a deterministic
+//	               sequential workload
+//
+// The handler only reads published ring slots — it never touches the
+// verify queue or the caches, so it is safe to scrape during a drain.
+func TracesHandler(rec *trace.Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		minMs, err := parseIntParam(q.Get("min_ms"))
+		if err != nil {
+			http.Error(w, "bad min_ms", http.StatusBadRequest)
+			return
+		}
+		status, err := parseIntParam(q.Get("status"))
+		if err != nil {
+			http.Error(w, "bad status", http.StatusBadRequest)
+			return
+		}
+		limit, err := parseIntParam(q.Get("n"))
+		if err != nil {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+
+		all := trace.Collect(rec.Snapshot())
+		out := all[:0]
+		for _, tj := range all {
+			if minMs > 0 && tj.DurationMs < float64(minMs) {
+				continue
+			}
+			if status > 0 && tj.Status != status {
+				continue
+			}
+			out = append(out, tj)
+			if limit > 0 && len(out) == limit {
+				break
+			}
+		}
+
+		if q.Get("format") == "text" {
+			canonical := q.Get("canonical") == "1"
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, tj := range out {
+				render := tj.WriteText
+				if canonical {
+					render = tj.WriteCanonicalText
+				}
+				if err := render(w); err != nil {
+					return
+				}
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Traces []trace.TraceJSON `json:"traces"`
+		}{Traces: out}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+func parseIntParam(v string) (int, error) {
+	if v == "" {
+		return 0, nil
+	}
+	return strconv.Atoi(v)
+}

@@ -1,0 +1,26 @@
+package trace
+
+import "context"
+
+// ctxKey is the context key traces travel under. A zero-size struct
+// converts to an interface without allocating, so FromContext stays on
+// the zero-alloc record path.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying t. A nil trace returns ctx unchanged,
+// so callers can thread optional tracing without branching.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace ctx carries, or nil. Every method on a
+// nil *Trace is a no-op, so the result can be used unconditionally.
+//
+//ebda:hotpath
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Header is the HTTP header that propagates trace context across
+// cluster hops (peer cache lookups and forwards). Its value is
+// "traceID/fragment/spanIndex": the ID the whole distributed trace
+// shares, the sending replica's fragment name, and the index of the
+// sending span — the remote parent the receiving fragment's root span
+// links back to. SpanRef.Header renders it; ParseHeader reads it.
+const Header = "X-Ebda-Trace"
+
+// ParseHeader splits an X-Ebda-Trace value. ok is false when the value
+// does not carry exactly three non-empty fields with a decimal span
+// index; trace IDs contain no '/', so the split is unambiguous.
+func ParseHeader(v string) (id, fragment string, spanIdx int32, ok bool) {
+	first := strings.IndexByte(v, '/')
+	last := strings.LastIndexByte(v, '/')
+	if first <= 0 || last <= first+1 || last == len(v)-1 {
+		return "", "", 0, false
+	}
+	id, fragment = v[:first], v[first+1:last]
+	if strings.ContainsRune(fragment, '/') {
+		return "", "", 0, false
+	}
+	n, err := strconv.ParseInt(v[last+1:], 10, 32)
+	if err != nil || n < 0 {
+		return "", "", 0, false
+	}
+	return id, fragment, int32(n), true
+}

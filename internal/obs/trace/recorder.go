@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Default ring sizes when NewRecorder is given zeros.
+const (
+	defaultMainLane = 256
+	defaultSlowLane = 64
+)
+
+// Recorder is the bounded lock-free flight recorder: two rings of
+// atomic trace pointers, the sampled main lane and the always-capture
+// slow/error lane. Writers claim a slot with one atomic increment and
+// publish with one atomic store — no lock, no allocation — overwriting
+// the oldest entry once the lane wraps. Readers snapshot whatever is
+// published; an overwritten trace stays valid for any reader that
+// already loaded it (overwritten traces are garbage-collected, never
+// pooled).
+type Recorder struct {
+	main []atomic.Pointer[Trace]
+	slow []atomic.Pointer[Trace]
+	// mainNext/slowNext are the claim counters; insertSeq orders traces
+	// across both lanes for newest-first snapshots.
+	mainNext  atomic.Uint64
+	slowNext  atomic.Uint64
+	insertSeq atomic.Uint64
+}
+
+// DefaultRecorder is the process-wide flight recorder behind
+// /debug/traces.
+var DefaultRecorder = NewRecorder(0, 0)
+
+// NewRecorder builds a recorder with the given lane sizes (0 picks the
+// defaults).
+func NewRecorder(mainSize, slowSize int) *Recorder {
+	if mainSize <= 0 {
+		mainSize = defaultMainLane
+	}
+	if slowSize <= 0 {
+		slowSize = defaultSlowLane
+	}
+	return &Recorder{
+		main: make([]atomic.Pointer[Trace], mainSize),
+		slow: make([]atomic.Pointer[Trace], slowSize),
+	}
+}
+
+// record publishes a finished trace into a lane, overwriting the oldest
+// entry when the lane is full.
+func (r *Recorder) record(t *Trace, slowLane bool) {
+	t.retainedSeq.Store(r.insertSeq.Add(1))
+	lane, next := r.main, &r.mainNext
+	if slowLane {
+		lane, next = r.slow, &r.slowNext
+	}
+	lane[(next.Add(1)-1)%uint64(len(lane))].Store(t)
+}
+
+// Snapshot returns every currently published trace, newest first
+// (insertion order across both lanes). The traces are live — a remote
+// fragment may still gain spans — so renderers read them under each
+// trace's own lock.
+func (r *Recorder) Snapshot() []*Trace {
+	out := make([]*Trace, 0, len(r.main)+len(r.slow))
+	for i := range r.main {
+		if t := r.main[i].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	for i := range r.slow {
+		if t := r.slow[i].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].retainedSeq.Load() > out[j].retainedSeq.Load()
+	})
+	return out
+}

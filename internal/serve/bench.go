@@ -35,6 +35,10 @@ type Bench struct {
 	// CoalesceRate is coalesced over all verdicts the run observed (0
 	// when it observed none).
 	CoalesceRate float64 `json:"coalesce_rate"`
+	// Traced counts the traces the flight recorder held at /debug/traces
+	// when the run finished — sampled retentions plus the slow/error
+	// lane, after any ring overwrite.
+	Traced int `json:"traced"`
 
 	WallSeconds float64 `json:"wall_seconds"`
 	// ThroughputRPS is Requests / WallSeconds.

@@ -12,6 +12,7 @@ import (
 
 	"ebda/internal/cdg"
 	"ebda/internal/cluster"
+	"ebda/internal/obs/trace"
 )
 
 // Cluster mode shards the verify-cache keyspace across replicas: every
@@ -145,6 +146,9 @@ type PeerLookupResponse struct {
 // cache is exactly what lets peers absorb its keyspace.
 func (s *Server) handlePeerLookup(w http.ResponseWriter, r *http.Request) {
 	obsReqPeerLookup.Inc()
+	t, sw, r := s.startTrace(w, r, "peer.lookup")
+	defer func() { t.Finish(sw.status) }()
+	w = sw
 	key, err := strconv.ParseUint(r.PathValue("key"), 16, 64)
 	if err != nil {
 		obsRejectBad.Inc()
@@ -157,11 +161,16 @@ func (s *Server) handlePeerLookup(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "check query parameter is not a 64-bit hex value")
 		return
 	}
+	lsp := trace.FromContext(r.Context()).StartSpan("cache.lookup")
 	rep, ok := s.cache.LookupKey(key, check)
 	if !ok {
+		lsp.SetInt("hit", 0)
+		lsp.End()
 		writeJSON(w, http.StatusNotFound, &PeerLookupResponse{Found: false})
 		return
 	}
+	lsp.SetInt("hit", 1)
+	lsp.End()
 	obsPeerLookupHits.Inc()
 	resp := &PeerLookupResponse{
 		Found:    true,
@@ -189,6 +198,12 @@ func (cp *clusterPeers) lookup(ctx context.Context, owner string, key, check uin
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
+	}
+	hsp := trace.FromContext(ctx).StartSpan("cluster.lookup")
+	hsp.SetStr("owner", owner)
+	defer hsp.End()
+	if h := hsp.Header(); h != "" {
+		req.Header.Set(trace.Header, h)
 	}
 	obsClusterPeerProbes.Inc()
 	resp, err := cp.client.Do(req)
@@ -229,6 +244,12 @@ func (cp *clusterPeers) forward(ctx context.Context, owner, path string, body []
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ForwardHeader, cp.self)
+	hsp := trace.FromContext(ctx).StartSpan("cluster.forward")
+	hsp.SetStr("owner", owner)
+	defer hsp.End()
+	if h := hsp.Header(); h != "" {
+		req.Header.Set(trace.Header, h)
+	}
 	obsClusterForwards.Inc()
 	resp, err := cp.client.Do(req)
 	if err != nil {
@@ -264,10 +285,12 @@ func (s *Server) routeVerify(w http.ResponseWriter, r *http.Request, b *builtVer
 		obsClusterForwardServed.Inc()
 		return false
 	}
+	tc := trace.FromContext(r.Context())
 	// Step 1: this replica's own cache (seeded by snapshots, earlier
 	// forwards, or degraded computes).
 	if rep, ok := s.cache.Lookup(b.net, b.vcs, b.ts); ok {
 		obsVerdictCache.Inc()
+		tc.SetProvenance(provCache)
 		writeJSON(w, http.StatusOK, respond(b, rep, provCache, key))
 		return true
 	}
@@ -276,6 +299,7 @@ func (s *Server) routeVerify(w http.ResponseWriter, r *http.Request, b *builtVer
 	// Step 2: the owner's cache, one GET away.
 	if pl, err := cp.lookup(ctx, owner, key, check); err == nil && pl != nil {
 		obsVerdictPeer.Inc()
+		tc.SetProvenance(provPeer)
 		writeJSON(w, http.StatusOK, respondPeerVerify(b, pl, key))
 		return true
 	}
@@ -303,6 +327,7 @@ func (s *Server) routeVerify(w http.ResponseWriter, r *http.Request, b *builtVer
 		return false
 	}
 	resp.Provenance = provForwarded
+	tc.SetProvenance(provForwarded)
 	obsVerdictForwarded.Inc()
 	writeJSON(w, http.StatusOK, &resp)
 	return true
@@ -324,8 +349,10 @@ func (s *Server) routeDelta(w http.ResponseWriter, r *http.Request, b *builtVeri
 		obsClusterForwardServed.Inc()
 		return false
 	}
+	tc := trace.FromContext(r.Context())
 	if rep, ok := s.cache.LookupDelta(b.net, b.vcs, b.ts, diff); ok {
 		obsVerdictCache.Inc()
+		tc.SetProvenance(provCache)
 		writeJSON(w, http.StatusOK, respondPeerDelta(&PeerLookupResponse{
 			Found:    true,
 			Network:  rep.Network,
@@ -340,6 +367,7 @@ func (s *Server) routeDelta(w http.ResponseWriter, r *http.Request, b *builtVeri
 	defer cancel()
 	if pl, err := cp.lookup(ctx, owner, key, check); err == nil && pl != nil {
 		obsVerdictPeer.Inc()
+		tc.SetProvenance(provPeer)
 		writeJSON(w, http.StatusOK, respondPeerDelta(pl, provPeer, key, baseKey))
 		return true
 	}
@@ -363,6 +391,7 @@ func (s *Server) routeDelta(w http.ResponseWriter, r *http.Request, b *builtVeri
 		return false
 	}
 	resp.Provenance = provForwarded
+	tc.SetProvenance(provForwarded)
 	obsVerdictForwarded.Inc()
 	writeJSON(w, http.StatusOK, &resp)
 	return true

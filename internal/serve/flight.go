@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ebda/internal/cdg"
+	"ebda/internal/obs/trace"
 )
 
 // flightGroup coalesces concurrent identical verifications onto one
@@ -31,8 +32,11 @@ type flightCall struct {
 	done   chan struct{}
 	cancel context.CancelFunc
 	refs   int
-	rep    cdg.Report
-	err    error
+	// traceID names the leader's trace; joiners link their own traces to
+	// it (the coalesced_with field at /debug/traces).
+	traceID string
+	rep     cdg.Report
+	err     error
 }
 
 func newFlightGroup() *flightGroup {
@@ -50,7 +54,9 @@ func (g *flightGroup) do(ctx context.Context, key, check uint64, timeout time.Du
 	if c, ok := g.m[key]; ok {
 		if c.check == check {
 			c.refs++
+			leaderID := c.traceID
 			g.mu.Unlock()
+			trace.FromContext(ctx).SetCoalescedWith(leaderID)
 			return g.wait(ctx, c, false)
 		}
 		g.mu.Unlock()
@@ -63,15 +69,22 @@ func (g *flightGroup) do(ctx context.Context, key, check uint64, timeout time.Du
 		return rep, true, err
 	}
 	c := &flightCall{check: check, done: make(chan struct{}), refs: 1}
+	lt := trace.FromContext(ctx)
+	c.traceID = lt.ID()
 	// The flight deliberately detaches from the first caller's context:
 	// later joiners must not lose the result because the first requester
-	// hung up. Cancellation happens via refcount in wait().
+	// hung up. Cancellation happens via refcount in wait(). The leader's
+	// trace rides along so the compute's spans land on it; the extra
+	// reference keeps the trace out of the pool while the detached
+	// goroutine may still be recording.
 	//ebda:allow ctxlint detached coalesced flight outlives its first caller
-	base, cancel := context.WithCancel(context.Background())
+	base, cancel := context.WithCancel(trace.NewContext(context.Background(), lt))
 	c.cancel = cancel
 	g.m[key] = c
 	g.mu.Unlock()
+	lt.Retain()
 	go func() {
+		defer lt.Release()
 		fctx, fcancel := context.WithTimeout(base, timeout)
 		rep, err := fn(fctx)
 		fcancel()

@@ -20,6 +20,10 @@ var (
 		"requests received by /v1/verify/delta")
 	obsReqPeerLookup = obs.NewCounter(obs.Label("ebda_serve_requests_total", "endpoint", "peer_lookup"),
 		"requests received by /v1/peer/lookup")
+	obsReqPeerMetrics = obs.NewCounter(obs.Label("ebda_serve_requests_total", "endpoint", "peer_metrics"),
+		"requests received by /v1/peer/metrics")
+	obsReqClusterMetrics = obs.NewCounter(obs.Label("ebda_serve_requests_total", "endpoint", "cluster_metrics"),
+		"requests received by /v1/cluster/metrics")
 
 	obsVerdictCache = obs.NewCounter(obs.Label("ebda_serve_verdicts_total", "provenance", "cache"),
 		"verdicts answered from the verify cache")
@@ -64,6 +68,8 @@ var (
 		"forwarded requests served locally (the single permitted hop)")
 	obsPeerLookupHits = obs.NewCounter("ebda_serve_peer_lookup_hits_total",
 		"peer lookup requests answered from this replica's cache")
+	obsClusterMetricsUnreachable = obs.NewCounter("ebda_cluster_metrics_unreachable_total",
+		"metrics fan-out fetches that failed (the merge proceeded without them)")
 
 	phaseServeVerify = obs.NewPhase("serve.verify", "")
 	phaseServeDelta  = obs.NewPhase("serve.delta", "")

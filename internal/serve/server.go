@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"ebda/internal/cdg"
+	"ebda/internal/obs"
+	"ebda/internal/obs/trace"
 	"ebda/internal/partstrat"
 )
 
@@ -42,6 +44,22 @@ type Config struct {
 	// replica ring (see cluster.go). Validate it before constructing the
 	// server.
 	Cluster *ClusterConfig
+	// TraceSample retains 1 in N finished request traces in the flight
+	// recorder's sampled main lane (default 16; negative disables
+	// sampling — the slow/error lane still captures).
+	TraceSample int
+	// TraceSlow is the latency past which a request's trace is always
+	// captured (default 250ms; negative disables latency-based capture —
+	// 5xx traces are still captured).
+	TraceSlow time.Duration
+	// Tracer overrides the tracer built from TraceSample/TraceSlow.
+	// Harnesses running several replicas in one process give each its
+	// own fragment name and share a recorder.
+	Tracer *trace.Tracer
+	// Metrics supplies this replica's snapshot for /v1/peer/metrics and
+	// the /v1/cluster/metrics fan-out (default: the process-wide
+	// obs.Default registry).
+	Metrics func() obs.Snapshot
 }
 
 func (c Config) withDefaults() Config {
@@ -56,6 +74,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Jobs <= 0 {
 		c.Jobs = 1
+	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 16
+	}
+	if c.TraceSlow == 0 {
+		c.TraceSlow = trace.DefaultSlowThreshold
+	}
+	if c.Metrics == nil {
+		c.Metrics = func() obs.Snapshot { return obs.Default.Snapshot() }
 	}
 	return c
 }
@@ -76,6 +103,7 @@ type Server struct {
 	cache   *cdg.VerifyCache
 	flight  *flightGroup
 	cluster *clusterPeers // nil outside cluster mode
+	tracer  *trace.Tracer
 	queue   chan func()
 	workers sync.WaitGroup
 
@@ -112,6 +140,17 @@ func newServer(cfg Config, cache *cdg.VerifyCache) *Server {
 	if cfg.Cluster != nil {
 		s.cluster = newClusterPeers(cfg.Cluster)
 	}
+	if s.tracer = cfg.Tracer; s.tracer == nil {
+		fragment := "local"
+		if cfg.Cluster != nil {
+			fragment = cfg.Cluster.Self
+		}
+		s.tracer = trace.New(trace.Config{
+			Fragment:      fragment,
+			SampleEvery:   cfg.TraceSample,
+			SlowThreshold: cfg.TraceSlow,
+		})
+	}
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go func() {
@@ -131,6 +170,39 @@ func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("/v1/design", s.handleDesign)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/peer/lookup/{key}", s.handlePeerLookup)
+	mux.HandleFunc("GET /v1/peer/metrics", s.handlePeerMetrics)
+	mux.HandleFunc("GET /v1/cluster/metrics", s.handleClusterMetrics)
+}
+
+// Tracer returns the tracer this server mints request traces from.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
+
+// statusWriter remembers the first status a handler wrote, so the
+// request's trace can be finished with it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// startTrace mints the request's trace — joining the distributed trace
+// a peer propagated when the request carries an X-Ebda-Trace header —
+// and threads it through the request context, wrapping the response
+// writer so Finish sees the status the handler wrote.
+func (s *Server) startTrace(w http.ResponseWriter, r *http.Request, root string) (*trace.Trace, *statusWriter, *http.Request) {
+	var t *trace.Trace
+	if h := r.Header.Get(trace.Header); h != "" {
+		t = s.tracer.StartRemote(h, root)
+	} else {
+		t = s.tracer.Start(root)
+	}
+	return t, &statusWriter{ResponseWriter: w}, r.WithContext(trace.NewContext(r.Context(), t))
 }
 
 // Ready reports whether the server accepts new work; it is the /readyz
@@ -198,21 +270,33 @@ const (
 // coalesced flight whose leader computes on a queue worker. The
 // provenance string reports which path answered.
 func (s *Server) verdict(ctx context.Context, b *builtVerify) (cdg.Report, string, error) {
+	tc := trace.FromContext(ctx)
+	lsp := tc.StartSpan("cache.lookup")
 	if rep, ok := s.cache.Lookup(b.net, b.vcs, b.ts); ok {
+		lsp.SetInt("hit", 1)
+		lsp.End()
 		obsVerdictCache.Inc()
 		return rep, provCache, nil
 	}
+	lsp.SetInt("hit", 0)
+	lsp.End()
 	key, check := cdg.VerifyKey(b.net, b.vcs, b.ts)
+	fsp := tc.StartSpan("flight")
 	rep, leader, err := s.flight.do(ctx, key, check, s.cfg.Timeout, func(fctx context.Context) (cdg.Report, error) {
 		return s.compute(fctx, b)
 	})
 	if err != nil {
+		fsp.End()
 		return cdg.Report{}, "", err
 	}
 	if leader {
+		fsp.SetStr("role", "leader")
+		fsp.End()
 		obsVerdictComputed.Inc()
 		return rep, provComputed, nil
 	}
+	fsp.SetStr("role", "follower")
+	fsp.End()
 	obsVerdictCoalesced.Inc()
 	return rep, provCoalesced, nil
 }
@@ -225,12 +309,23 @@ func (s *Server) compute(ctx context.Context, b *builtVerify) (cdg.Report, error
 		err error
 	}
 	res := make(chan result, 1)
+	// The queued task may outlive the trace's Finish (an abandoned
+	// deadline); the extra reference keeps the trace out of the pool
+	// until the task's spans have landed.
+	tc := trace.FromContext(ctx)
+	tc.Retain()
+	qsp := tc.StartSpan("queue.wait")
 	err := s.submit(func() {
+		qsp.End()
 		obsQueueDepth.Add(-1)
 		rep, err := s.cache.VerifyTurnSetCtx(ctx, b.net, b.vcs, b.ts, s.cfg.Jobs)
 		res <- result{rep, err}
+		tc.Release()
 	})
 	if err != nil {
+		qsp.SetInt("rejected", 1)
+		qsp.End()
+		tc.Release()
 		return cdg.Report{}, err
 	}
 	select {
@@ -249,21 +344,33 @@ func (s *Server) compute(ctx context.Context, b *builtVerify) (cdg.Report, error
 // leader's provenance is "delta" — the verdict came from a retained
 // workspace's region re-peel, not a from-scratch verification.
 func (s *Server) deltaVerdict(ctx context.Context, b *builtVerify, diff cdg.Diff) (cdg.Report, string, error) {
+	tc := trace.FromContext(ctx)
+	lsp := tc.StartSpan("cache.lookup")
 	if rep, ok := s.cache.LookupDelta(b.net, b.vcs, b.ts, diff); ok {
+		lsp.SetInt("hit", 1)
+		lsp.End()
 		obsVerdictCache.Inc()
 		return rep, provCache, nil
 	}
+	lsp.SetInt("hit", 0)
+	lsp.End()
 	key, check := cdg.DeltaKey(b.net, b.vcs, b.ts, diff)
+	fsp := tc.StartSpan("flight")
 	rep, leader, err := s.flight.do(ctx, key, check, s.cfg.Timeout, func(fctx context.Context) (cdg.Report, error) {
 		return s.computeDelta(fctx, b, diff)
 	})
 	if err != nil {
+		fsp.End()
 		return cdg.Report{}, "", err
 	}
 	if leader {
+		fsp.SetStr("role", "leader")
+		fsp.End()
 		obsVerdictDelta.Inc()
 		return rep, provDelta, nil
 	}
+	fsp.SetStr("role", "follower")
+	fsp.End()
 	obsVerdictCoalesced.Inc()
 	return rep, provCoalesced, nil
 }
@@ -275,12 +382,20 @@ func (s *Server) computeDelta(ctx context.Context, b *builtVerify, diff cdg.Diff
 		err error
 	}
 	res := make(chan result, 1)
+	tc := trace.FromContext(ctx)
+	tc.Retain()
+	qsp := tc.StartSpan("queue.wait")
 	err := s.submit(func() {
+		qsp.End()
 		obsQueueDepth.Add(-1)
 		rep, err := s.cache.VerifyDeltaCtx(ctx, b.net, b.vcs, b.ts, diff, s.cfg.Jobs)
 		res <- result{rep, err}
+		tc.Release()
 	})
 	if err != nil {
+		qsp.SetInt("rejected", 1)
+		qsp.End()
+		tc.Release()
 		return cdg.Report{}, err
 	}
 	select {
@@ -361,6 +476,9 @@ func (s *Server) verifyOne(ctx context.Context, b *builtVerify) (*VerifyResponse
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	obsReqVerify.Inc()
+	t, sw, r := s.startTrace(w, r, "serve.verify")
+	defer func() { t.Finish(sw.status) }()
+	w = sw
 	sp := phaseServeVerify.Start()
 	defer sp.End()
 	if r.Method != http.MethodPost {
@@ -397,11 +515,15 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, sanitizeErr(err))
 		return
 	}
+	t.SetProvenance(resp.Provenance)
 	writeJSON(w, status, resp)
 }
 
 func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	obsReqDelta.Inc()
+	t, sw, r := s.startTrace(w, r, "serve.delta")
+	defer func() { t.Finish(sw.status) }()
+	w = sw
 	sp := phaseServeDelta.Start()
 	defer sp.End()
 	if r.Method != http.MethodPost {
@@ -453,6 +575,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), sanitizeErr(err))
 		return
 	}
+	t.SetProvenance(prov)
 	key, _ := cdg.DeltaKey(b.net, b.vcs, b.ts, diff)
 	resp := &DeltaResponse{
 		Network:    rep.Network,
@@ -471,6 +594,9 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 	obsReqDesign.Inc()
+	t, sw, r := s.startTrace(w, r, "serve.design")
+	defer func() { t.Finish(sw.status) }()
+	w = sw
 	sp := phaseServeDesign.Start()
 	defer sp.End()
 	if r.Method != http.MethodPost {
@@ -528,6 +654,9 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	obsReqBatch.Inc()
+	t, sw, r := s.startTrace(w, r, "serve.batch")
+	defer func() { t.Finish(sw.status) }()
+	w = sw
 	sp := phaseServeBatch.Start()
 	defer sp.End()
 	if r.Method != http.MethodPost {
