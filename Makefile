@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-diff bench-delta bench-cluster cluster-soak repro fmt vet lint lint-sarif obs-smoke trace-smoke serve-smoke fuzz-short check clean
+.PHONY: all build test race bench bench-json bench-diff bench-delta bench-cluster cluster-soak repro fmt vet lint lint-sarif obs-smoke trace-smoke serve-smoke graph-smoke fuzz-short check clean
 
 all: check
 
@@ -99,17 +99,26 @@ trace-smoke:
 serve-smoke:
 	GO="$(GO)" ./scripts/serve-smoke.sh
 
+# graph-smoke drives the built ebda-graph binary over the committed
+# testdata/graphio goldens in all four modes (loop, liveness, escape,
+# subrel), asserting the exact verdict lines and exit codes plus a
+# byte-stable text -> JSON -> text export round-trip.
+graph-smoke:
+	GO="$(GO)" ./scripts/graph-smoke.sh
+
 # fuzz-short gives the /v1 request decoder a brief native-fuzz shake on
 # every check; the seeded corpus alone regresses in milliseconds, the
 # 5s budget lets the mutator explore a little too.
 fuzz-short:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeVerifyRequest -fuzztime=5s ./internal/serve
+	$(GO) test -run='^$$' -fuzz=FuzzParseCDG -fuzztime=5s ./internal/graphio
 
 # race is part of check so the worker pools are race-tested routinely;
 # obs-smoke keeps the -obs-json determinism contract honest; trace-smoke
 # does the same for request traces; serve-smoke and fuzz-short guard the
-# HTTP serving layer end to end.
-check: build lint test race obs-smoke trace-smoke serve-smoke fuzz-short
+# HTTP serving layer end to end; graph-smoke pins the arbitrary-network
+# CLI's verdicts over the committed goldens.
+check: build lint test race obs-smoke trace-smoke serve-smoke graph-smoke fuzz-short
 
 clean:
 	$(GO) clean ./...

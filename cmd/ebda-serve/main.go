@@ -1,7 +1,11 @@
 // Command ebda-serve runs the verification engine as an HTTP JSON
 // service: POST /v1/verify (one design's deadlock-freedom verdict),
 // POST /v1/design (the verified Algorithm 1/2 option family for a VC
-// budget) and POST /v1/batch (up to 64 designs per call). The same mux
+// budget), POST /v1/batch (up to 64 designs per call), POST
+// /v1/verify/delta (incremental re-verification of an edited design)
+// and POST /v1/verify/graph (multi-mode verdicts — loop, liveness,
+// escape, subrel — over an arbitrary inline channel dependence graph
+// in graphio's structured or constellation text form). The same mux
 // serves the introspection set — /metrics, /debug/vars, /debug/pprof,
 // /debug/traces, /healthz and /readyz — so one port carries both the
 // API and its observability.

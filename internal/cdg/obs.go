@@ -28,6 +28,21 @@ var (
 	obsEdgeCacheMisses = obs.NewCounter("ebda_edge_cache_misses_total",
 		"edge-set cache probes that recomputed the verdict")
 
+	obsModeLoop = obs.NewCounter(obs.Label("ebda_cdg_mode_verifies_total", "mode", "loop"),
+		"loop-mode (full-graph acyclicity) verifications of imported channel graphs")
+	obsModeLiveness = obs.NewCounter(obs.Label("ebda_cdg_mode_verifies_total", "mode", "liveness"),
+		"liveness-mode verifications of imported channel graphs")
+	obsModeEscape = obs.NewCounter(obs.Label("ebda_cdg_mode_verifies_total", "mode", "escape"),
+		"escape-mode (Duato condition) verifications of imported channel graphs")
+	obsModeSubrel = obs.NewCounter(obs.Label("ebda_cdg_mode_verifies_total", "mode", "subrel"),
+		"valid-subrelation searches over imported channel graphs")
+	obsModeViolations = obs.NewCounter("ebda_cdg_mode_violations_total",
+		"mode verifications whose property was violated")
+	obsModeCacheHits = obs.NewCounter("ebda_mode_cache_hits_total",
+		"mode cache probes answered from a memoized verdict")
+	obsModeCacheMisses = obs.NewCounter("ebda_mode_cache_misses_total",
+		"mode cache probes that recomputed the verdict")
+
 	obsCacheHits = obs.NewCounter("ebda_verify_cache_hits_total",
 		"verify cache probes answered from a memoized report")
 	obsCacheMisses = obs.NewCounter("ebda_verify_cache_misses_total",
@@ -61,6 +76,7 @@ var (
 	obsPoolFlushes = obs.NewCounter("ebda_workspace_pool_flushes_total",
 		"workspace pool epoch flushes (distinct-shape bound exceeded)")
 
+	phaseMode   = obs.NewPhase("cdg.mode", "")
 	phaseVerify = obs.NewPhase("cdg.verify", "")
 	phaseEdges  = obs.NewPhase("cdg.addTurnEdges", "cdg.verify")
 	phaseAcycl  = obs.NewPhase("cdg.acyclicity", "cdg.verify")

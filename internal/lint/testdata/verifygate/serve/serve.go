@@ -51,6 +51,35 @@ func cachedEdgeSet(e *cdg.EdgeSet) bool {
 	return cdg.VerifyEdgeSetCached(e).Acyclic
 }
 
+// uncachedMode proves a multi-mode property of an imported channel
+// graph outside the mode cache; a served mode verdict would be
+// unmemoized and uncoalescible.
+func uncachedMode(e *cdg.EdgeSet, in, out []int) bool {
+	return cdg.VerifyMode(e, cdg.ModeLiveness, in, out, nil).OK // want `uncached verify call cdg.VerifyMode in`
+}
+
+// uncachedModeJobs is the Jobs variant of the same mistake.
+func uncachedModeJobs(e *cdg.EdgeSet, in, out []int) bool {
+	return cdg.VerifyModeJobs(e, cdg.ModeSubrel, in, out, nil, 4).OK // want `uncached verify call cdg.VerifyModeJobs in`
+}
+
+// cachedMode is the blessed multi-mode path: ModeCache.Lookup for hits,
+// the cache's context-aware compute for misses, cdg.ModeKey for
+// coalescing.
+func cachedMode(ctx context.Context, c *cdg.ModeCache, e *cdg.EdgeSet, in, out []int) (cdg.ModeReport, error) {
+	if rep, ok := c.Lookup(e, cdg.ModeEscape, in, out, nil); ok {
+		return rep, nil
+	}
+	key, _ := cdg.ModeKey(e, cdg.ModeEscape, in, out, nil)
+	_ = key
+	return c.VerifyModeCtx(ctx, e, cdg.ModeEscape, in, out, nil, 1)
+}
+
+// cachedModeWrapper shows the process-wide cached wrapper is sanctioned.
+func cachedModeWrapper(e *cdg.EdgeSet, in, out []int) bool {
+	return cdg.VerifyModeCached(e, cdg.ModeLoop, in, out, nil).OK
+}
+
 // workspaceVerdict bypasses the cache via a private workspace.
 func workspaceVerdict(ctx context.Context, net *topology.Network, ts *core.TurnSet) (cdg.Report, error) {
 	ws := cdg.NewWorkspace(net, nil)

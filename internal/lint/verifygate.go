@@ -65,6 +65,7 @@ var uncachedVerifyFuncs = map[string]bool{
 	"VerifyChain": true, "VerifyRelation": true, "VerifyRelationJobs": true,
 	"BuildFromTurnSet": true, "BuildFromTurnSetJobs": true,
 	"VerifyEdgeSet": true, "VerifyEdgeSetJobs": true,
+	"VerifyMode": true, "VerifyModeJobs": true,
 }
 
 // deltaBypassFuncs construct retained delta workspaces directly,

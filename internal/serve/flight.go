@@ -5,15 +5,17 @@ import (
 	"sync"
 	"time"
 
-	"ebda/internal/cdg"
 	"ebda/internal/obs/trace"
 )
 
 // flightGroup coalesces concurrent identical verifications onto one
-// computation. Flights are keyed by the verify cache's dual-hash
-// identity (cdg.VerifyKey): two requests share a flight iff they would
-// share a cache entry, so a coalesced verdict is exactly the verdict the
-// joiner would have computed.
+// computation. Flights are keyed by a dual-hash identity from the
+// cdg key family (cdg.VerifyKey, cdg.DeltaKey, cdg.ModeKey): two
+// requests share a flight iff they would share a cache entry, so a
+// coalesced verdict is exactly the verdict the joiner would have
+// computed. The report type is generic — the /v1/verify pipeline
+// flies cdg.Report, /v1/verify/graph flies cdg.ModeReport — with one
+// group per report type so keys from different families never meet.
 //
 // The leader's computation runs in its own goroutine on a context
 // detached from any single request: joiners may outlive the request that
@@ -22,12 +24,12 @@ import (
 // timeout fires. A completed flight is removed from the map before its
 // result is published; by then the verify cache holds the report, so
 // late arrivals hit the cache instead of a stale flight.
-type flightGroup struct {
+type flightGroup[R any] struct {
 	mu sync.Mutex
-	m  map[uint64]*flightCall
+	m  map[uint64]*flightCall[R]
 }
 
-type flightCall struct {
+type flightCall[R any] struct {
 	check  uint64
 	done   chan struct{}
 	cancel context.CancelFunc
@@ -35,12 +37,12 @@ type flightCall struct {
 	// traceID names the leader's trace; joiners link their own traces to
 	// it (the coalesced_with field at /debug/traces).
 	traceID string
-	rep     cdg.Report
+	rep     R
 	err     error
 }
 
-func newFlightGroup() *flightGroup {
-	return &flightGroup{m: make(map[uint64]*flightCall)}
+func newFlightGroup[R any]() *flightGroup[R] {
+	return &flightGroup[R]{m: make(map[uint64]*flightCall[R])}
 }
 
 // do returns the verification keyed (key, check), joining an in-flight
@@ -49,7 +51,7 @@ func newFlightGroup() *flightGroup {
 // context bounded by timeout and cancelled when no waiter remains; its
 // error (including context expiry) propagates to every waiter of the
 // flight. A waiter whose own ctx fires leaves early with ctx's error.
-func (g *flightGroup) do(ctx context.Context, key, check uint64, timeout time.Duration, fn func(context.Context) (cdg.Report, error)) (cdg.Report, bool, error) {
+func (g *flightGroup[R]) do(ctx context.Context, key, check uint64, timeout time.Duration, fn func(context.Context) (R, error)) (R, bool, error) {
 	g.mu.Lock()
 	if c, ok := g.m[key]; ok {
 		if c.check == check {
@@ -68,7 +70,7 @@ func (g *flightGroup) do(ctx context.Context, key, check uint64, timeout time.Du
 		rep, err := fn(cctx)
 		return rep, true, err
 	}
-	c := &flightCall{check: check, done: make(chan struct{}), refs: 1}
+	c := &flightCall[R]{check: check, done: make(chan struct{}), refs: 1}
 	lt := trace.FromContext(ctx)
 	c.traceID = lt.ID()
 	// The flight deliberately detaches from the first caller's context:
@@ -101,7 +103,7 @@ func (g *flightGroup) do(ctx context.Context, key, check uint64, timeout time.Du
 // wait blocks until the flight completes or the waiter's own context
 // fires. A departing waiter drops its reference; the last one out
 // cancels the compute — nobody is left to use the result.
-func (g *flightGroup) wait(ctx context.Context, c *flightCall, leader bool) (cdg.Report, bool, error) {
+func (g *flightGroup[R]) wait(ctx context.Context, c *flightCall[R], leader bool) (R, bool, error) {
 	select {
 	case <-c.done:
 		return c.rep, leader, c.err
@@ -113,6 +115,7 @@ func (g *flightGroup) wait(ctx context.Context, c *flightCall, leader bool) (cdg
 		if abandon {
 			c.cancel()
 		}
-		return cdg.Report{}, leader, ctx.Err()
+		var zero R
+		return zero, leader, ctx.Err()
 	}
 }

@@ -45,7 +45,7 @@ func (g *gatedFn) callCount() int {
 }
 
 func TestFlightCoalescesIdenticalKeys(t *testing.T) {
-	fg := newFlightGroup()
+	fg := newFlightGroup[cdg.Report]()
 	gate := newGatedFn()
 	want := cdg.Report{Network: "mesh 6x6", Channels: 4, Acyclic: true}
 
@@ -106,7 +106,7 @@ func TestFlightCoalescesIdenticalKeys(t *testing.T) {
 }
 
 func TestFlightCollisionComputesAlone(t *testing.T) {
-	fg := newFlightGroup()
+	fg := newFlightGroup[cdg.Report]()
 	gate := newGatedFn()
 	go fg.do(context.Background(), 7, 100, time.Minute, gate.fn(cdg.Report{}))
 	<-gate.started
@@ -124,7 +124,7 @@ func TestFlightCollisionComputesAlone(t *testing.T) {
 }
 
 func TestFlightWaiterLeavesOnOwnDeadline(t *testing.T) {
-	fg := newFlightGroup()
+	fg := newFlightGroup[cdg.Report]()
 	gate := newGatedFn()
 	want := cdg.Report{Channels: 3}
 
@@ -156,7 +156,7 @@ func TestFlightWaiterLeavesOnOwnDeadline(t *testing.T) {
 }
 
 func TestFlightAbandonedWhenAllWaitersLeave(t *testing.T) {
-	fg := newFlightGroup()
+	fg := newFlightGroup[cdg.Report]()
 	computeCtx := make(chan context.Context, 1)
 	started := make(chan struct{})
 

@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"ebda/internal/cdg"
+	"ebda/internal/graphio"
+	"ebda/internal/obs/trace"
+)
+
+// POST /v1/verify/graph: multi-mode verification of an arbitrary
+// channel dependence graph supplied inline — the serving face of
+// internal/graphio. Requests carry either the structured JSON graph or
+// the constellation text form verbatim, plus a mode; verdicts flow
+// through the same admission queue, per-request deadline, singleflight
+// group, and provenance discipline as /v1/verify, memoized in the
+// process-wide mode cache under cdg.ModeKey. The endpoint is local to
+// each replica: mode keys are not part of the cluster ring's keyspace.
+
+// Graph request limits.
+const (
+	// maxGraphChannels bounds a submitted graph's channel count,
+	// mirroring the maxNodes bound on concrete networks.
+	maxGraphChannels = 4096
+	// maxGraphEdges bounds a submitted graph's edge count.
+	maxGraphEdges = 1 << 17
+)
+
+// GraphSpec is the inline structured encoding of an annotated CDG,
+// field-for-field the graphio JSON variant.
+type GraphSpec struct {
+	Channels int      `json:"channels"`
+	Inputs   []int    `json:"inputs"`
+	Outputs  []int    `json:"outputs"`
+	Edges    [][2]int `json:"edges"`
+}
+
+// GraphVerifyRequest asks for one mode verdict over an inline graph.
+// Exactly one of Graph (structured) and CDG (constellation text,
+// verbatim) must be set.
+type GraphVerifyRequest struct {
+	Graph  *GraphSpec `json:"graph,omitempty"`
+	CDG    string     `json:"cdg,omitempty"`
+	Mode   string     `json:"mode"`
+	Escape []int      `json:"escape,omitempty"`
+}
+
+// GraphVerifyResponse is the mode verdict. Path and Cycle render the
+// witness chains in the engine's "n1 => n17" form; Key is the
+// mode-aware cache identity (hex).
+type GraphVerifyResponse struct {
+	Mode             string `json:"mode"`
+	Channels         int    `json:"channels"`
+	Edges            int    `json:"edges"`
+	OK               bool   `json:"ok"`
+	Reason           string `json:"reason,omitempty"`
+	Path             string `json:"path,omitempty"`
+	Cycle            string `json:"cycle,omitempty"`
+	SubrelationEdges int    `json:"subrelation_edges,omitempty"`
+	Provenance       string `json:"provenance"`
+	Key              string `json:"key"`
+}
+
+// builtGraph is a decoded, validated graph request ready for the
+// verdict pipeline.
+type builtGraph struct {
+	g      *graphio.Graph
+	mode   cdg.GraphMode
+	escape []int
+}
+
+// build validates the request and parses the graph. Like
+// VerifyRequest.build it returns client errors only — everything here
+// maps to a 400.
+func (req *GraphVerifyRequest) build() (*builtGraph, error) {
+	mode, err := cdg.ParseGraphMode(req.Mode)
+	if err != nil {
+		return nil, err
+	}
+	var g *graphio.Graph
+	switch {
+	case req.Graph != nil && req.CDG != "":
+		return nil, errors.New("use either graph or cdg, not both")
+	case req.Graph != nil:
+		g, err = graphio.New(req.Graph.Channels, req.Graph.Inputs, req.Graph.Outputs, req.Graph.Edges)
+	case req.CDG != "":
+		g, err = graphio.ParseCDG([]byte(req.CDG))
+	default:
+		return nil, errors.New("one of graph or cdg is required")
+	}
+	if err != nil {
+		return nil, err
+	}
+	if n := g.Edges.NumNodes(); n > maxGraphChannels {
+		return nil, fmt.Errorf("graph has %d channels, limit %d", n, maxGraphChannels)
+	}
+	if n := g.Edges.NumEdges(); n > maxGraphEdges {
+		return nil, fmt.Errorf("graph has %d edges, limit %d", n, maxGraphEdges)
+	}
+	if mode == cdg.ModeEscape && len(req.Escape) == 0 {
+		return nil, errors.New("mode escape requires a non-empty escape set")
+	}
+	for _, v := range req.Escape {
+		if v < 0 || v >= g.Edges.NumNodes() {
+			return nil, fmt.Errorf("escape channel %d outside [0, %d)", v, g.Edges.NumNodes())
+		}
+	}
+	return &builtGraph{g: g, mode: mode, escape: req.Escape}, nil
+}
+
+// graphVerdict produces one mode verdict: mode cache probe first, then
+// a coalesced flight whose leader computes on a queue worker.
+func (s *Server) graphVerdict(ctx context.Context, b *builtGraph) (cdg.ModeReport, string, error) {
+	tc := trace.FromContext(ctx)
+	lsp := tc.StartSpan("cache.lookup")
+	if rep, ok := s.modes.Lookup(b.g.Edges, b.mode, b.g.Inputs, b.g.Outputs, b.escape); ok {
+		lsp.SetInt("hit", 1)
+		lsp.End()
+		obsVerdictCache.Inc()
+		return rep, provCache, nil
+	}
+	lsp.SetInt("hit", 0)
+	lsp.End()
+	key, check := cdg.ModeKey(b.g.Edges, b.mode, b.g.Inputs, b.g.Outputs, b.escape)
+	fsp := tc.StartSpan("flight")
+	rep, leader, err := s.gflight.do(ctx, key, check, s.cfg.Timeout, func(fctx context.Context) (cdg.ModeReport, error) {
+		return s.computeGraph(fctx, b)
+	})
+	if err != nil {
+		fsp.End()
+		return cdg.ModeReport{}, "", err
+	}
+	if leader {
+		fsp.SetStr("role", "leader")
+		fsp.End()
+		obsVerdictComputed.Inc()
+		return rep, provComputed, nil
+	}
+	fsp.SetStr("role", "follower")
+	fsp.End()
+	obsVerdictCoalesced.Inc()
+	return rep, provCoalesced, nil
+}
+
+// computeGraph runs one mode verification on a queue worker under ctx.
+func (s *Server) computeGraph(ctx context.Context, b *builtGraph) (cdg.ModeReport, error) {
+	type result struct {
+		rep cdg.ModeReport
+		err error
+	}
+	res := make(chan result, 1)
+	tc := trace.FromContext(ctx)
+	tc.Retain()
+	qsp := tc.StartSpan("queue.wait")
+	err := s.submit(func() {
+		qsp.End()
+		obsQueueDepth.Add(-1)
+		rep, err := s.modes.VerifyModeCtx(ctx, b.g.Edges, b.mode, b.g.Inputs, b.g.Outputs, b.escape, s.cfg.Jobs)
+		res <- result{rep, err}
+		tc.Release()
+	})
+	if err != nil {
+		qsp.SetInt("rejected", 1)
+		qsp.End()
+		tc.Release()
+		return cdg.ModeReport{}, err
+	}
+	select {
+	case r := <-res:
+		return r.rep, r.err
+	case <-ctx.Done():
+		// The queued task still runs (quickly, its context is dead) and
+		// parks its result in the buffered channel for the collector.
+		return cdg.ModeReport{}, ctx.Err()
+	}
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	obsReqGraph.Inc()
+	t, sw, r := s.startTrace(w, r, "serve.graph")
+	defer func() { t.Finish(sw.status) }()
+	w = sw
+	sp := phaseServeGraph.Start()
+	defer sp.End()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req GraphVerifyRequest
+	if err := decodeStrict(http.MaxBytesReader(w, r.Body, MaxBodyBytes), &req); err != nil {
+		obsRejectBad.Inc()
+		writeError(w, http.StatusBadRequest, sanitizeErr(err))
+		return
+	}
+	b, err := req.build()
+	if err != nil {
+		obsRejectBad.Inc()
+		writeError(w, http.StatusBadRequest, sanitizeErr(err))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	rep, prov, err := s.graphVerdict(ctx, b)
+	if err != nil {
+		writeError(w, statusFor(err), sanitizeErr(err))
+		return
+	}
+	t.SetProvenance(prov)
+	key, _ := cdg.ModeKey(b.g.Edges, b.mode, b.g.Inputs, b.g.Outputs, b.escape)
+	resp := &GraphVerifyResponse{
+		Mode:       rep.Mode.String(),
+		Channels:   rep.Nodes,
+		Edges:      rep.Edges,
+		OK:         rep.OK,
+		Reason:     rep.Reason,
+		Provenance: prov,
+		Key:        strconv.FormatUint(key, 16),
+	}
+	if len(rep.Path) > 0 {
+		resp.Path = cdg.FormatNodeChain(rep.Path)
+	}
+	if len(rep.Cycle) > 0 {
+		resp.Cycle = cdg.FormatNodeChain(rep.Cycle)
+	}
+	if rep.OK && rep.Mode == cdg.ModeSubrel {
+		resp.SubrelationEdges = len(rep.Subrelation)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

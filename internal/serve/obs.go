@@ -18,6 +18,8 @@ var (
 		"requests received by /v1/batch")
 	obsReqDelta = obs.NewCounter(obs.Label("ebda_serve_requests_total", "endpoint", "delta"),
 		"requests received by /v1/verify/delta")
+	obsReqGraph = obs.NewCounter(obs.Label("ebda_serve_requests_total", "endpoint", "graph"),
+		"requests received by /v1/verify/graph")
 	obsReqPeerLookup = obs.NewCounter(obs.Label("ebda_serve_requests_total", "endpoint", "peer_lookup"),
 		"requests received by /v1/peer/lookup")
 	obsReqPeerMetrics = obs.NewCounter(obs.Label("ebda_serve_requests_total", "endpoint", "peer_metrics"),
@@ -75,4 +77,5 @@ var (
 	phaseServeDelta  = obs.NewPhase("serve.delta", "")
 	phaseServeDesign = obs.NewPhase("serve.design", "")
 	phaseServeBatch  = obs.NewPhase("serve.batch", "")
+	phaseServeGraph  = obs.NewPhase("serve.graph", "")
 )

@@ -18,6 +18,9 @@ import (
 func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	s := newServer(cfg, &cdg.VerifyCache{})
+	// Isolate the mode cache too: graph-endpoint provenance assertions
+	// must not see verdicts another test cached process-wide.
+	s.modes = &cdg.ModeCache{}
 	mux := http.NewServeMux()
 	s.Register(mux)
 	ts := httptest.NewServer(mux)

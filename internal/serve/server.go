@@ -101,7 +101,9 @@ type Server struct {
 	cfg     Config
 	nets    *networkCache
 	cache   *cdg.VerifyCache
-	flight  *flightGroup
+	modes   *cdg.ModeCache
+	flight  *flightGroup[cdg.Report]
+	gflight *flightGroup[cdg.ModeReport]
 	cluster *clusterPeers // nil outside cluster mode
 	tracer  *trace.Tracer
 	queue   chan func()
@@ -131,11 +133,13 @@ func NewReplica(cfg Config, cache *cdg.VerifyCache) *Server {
 func newServer(cfg Config, cache *cdg.VerifyCache) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		nets:   newNetworkCache(),
-		cache:  cache,
-		flight: newFlightGroup(),
-		queue:  make(chan func(), cfg.QueueDepth),
+		cfg:     cfg,
+		nets:    newNetworkCache(),
+		cache:   cache,
+		modes:   cdg.DefaultModeCache,
+		flight:  newFlightGroup[cdg.Report](),
+		gflight: newFlightGroup[cdg.ModeReport](),
+		queue:   make(chan func(), cfg.QueueDepth),
 	}
 	if cfg.Cluster != nil {
 		s.cluster = newClusterPeers(cfg.Cluster)
@@ -167,6 +171,7 @@ func newServer(cfg Config, cache *cdg.VerifyCache) *Server {
 func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("/v1/verify", s.handleVerify)
 	mux.HandleFunc("/v1/verify/delta", s.handleDelta)
+	mux.HandleFunc("/v1/verify/graph", s.handleGraph)
 	mux.HandleFunc("/v1/design", s.handleDesign)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/peer/lookup/{key}", s.handlePeerLookup)

@@ -222,7 +222,7 @@ func TestClusterMetricsMerge(t *testing.T) {
 func TestCoalescedFollowerLinksLeaderTrace(t *testing.T) {
 	rec := trace.NewRecorder(8, 4)
 	tr := trace.New(trace.Config{Fragment: "f", SampleEvery: 1, SlowThreshold: -1, Recorder: rec})
-	g := newFlightGroup()
+	g := newFlightGroup[cdg.Report]()
 
 	leaderT := tr.Start("serve.verify")
 	followerT := tr.Start("serve.verify")

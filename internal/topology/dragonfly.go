@@ -1,0 +1,165 @@
+package topology
+
+import "fmt"
+
+// This file adds the first non-mesh generator: a canonical dragonfly —
+// fully connected groups of routers joined by all-to-all global links —
+// expressed directly as an annotated channel dependence graph rather
+// than as a coordinate Network. The dragonfly is the classic exerciser
+// for the multi-mode verifier because minimal routing over a single
+// virtual channel deadlocks (the local-global-local cycle), while the
+// textbook two-VC discipline (VC0 before the global hop, VC1 after)
+// breaks every cycle; both variants come out of the same generator.
+
+// ChannelGraph is a plain-data annotated CDG: channel count, input and
+// output channel ids, and directed dependency edges. It is the bridge
+// from topology generators to graphio.New without the topology package
+// depending on the verification engine.
+type ChannelGraph struct {
+	Channels int
+	Inputs   []int
+	Outputs  []int
+	Edges    [][2]int
+}
+
+// Dragonfly describes a dragonfly: Groups fully connected groups, each
+// of Routers fully connected routers with Terminals terminals apiece.
+// Every ordered group pair (a, b) gets one dedicated global channel,
+// hosted round-robin over the routers of a.
+type Dragonfly struct {
+	Groups    int
+	Routers   int
+	Terminals int
+}
+
+// Validate checks the shape is constructible.
+func (d Dragonfly) Validate() error {
+	if d.Groups < 2 {
+		return fmt.Errorf("topology: dragonfly needs >= 2 groups, got %d", d.Groups)
+	}
+	if d.Routers < 1 || d.Terminals < 1 {
+		return fmt.Errorf("topology: dragonfly needs >= 1 router and terminal per group, got %d x %d",
+			d.Routers, d.Terminals)
+	}
+	return nil
+}
+
+// terminals returns the system terminal count.
+func (d Dragonfly) terminals() int { return d.Groups * d.Routers * d.Terminals }
+
+// Inj returns the injection channel id of terminal k of router r in
+// group g. Injection channels are the CDG inputs.
+func (d Dragonfly) Inj(g, r, k int) int { return (g*d.Routers+r)*d.Terminals + k }
+
+// Ej returns the ejection channel id mirroring Inj. Ejection channels
+// are the CDG outputs.
+func (d Dragonfly) Ej(g, r, k int) int { return d.terminals() + d.Inj(g, r, k) }
+
+// Local returns the channel id of virtual channel vc on the directed
+// local link from router i to router j (i != j) inside group g. The
+// graph has vcs local VCs; vc must be in [0, vcs).
+func (d Dragonfly) Local(g, i, j, vc, vcs int) int {
+	k := j
+	if j > i {
+		k = j - 1
+	}
+	slot := g*d.Routers*(d.Routers-1) + i*(d.Routers-1) + k
+	return 2*d.terminals() + slot*vcs + vc
+}
+
+// Global returns the channel id of the global link from group a to
+// group b (a != b).
+func (d Dragonfly) Global(a, b, vcs int) int {
+	k := b
+	if b > a {
+		k = b - 1
+	}
+	return 2*d.terminals() + d.Groups*d.Routers*(d.Routers-1)*vcs + a*(d.Groups-1) + k
+}
+
+// Gateway returns the router of group a hosting the global link toward
+// group b.
+func (d Dragonfly) Gateway(a, b int) int {
+	k := b
+	if b > a {
+		k = b - 1
+	}
+	return k % d.Routers
+}
+
+// NumChannels returns the channel count of the vcs-VC graph.
+func (d Dragonfly) NumChannels(vcs int) int {
+	return 2*d.terminals() + d.Groups*d.Routers*(d.Routers-1)*vcs + d.Groups*(d.Groups-1)
+}
+
+// ChannelGraph builds the CDG of minimal routing over vcs local virtual
+// channels. Every source terminal routes to every destination terminal:
+// inside a group, one local hop on VC0; across groups, local to the
+// gateway on VC0, the global channel, then local to the final router on
+// VC vcs-1. With vcs == 1 the two local stages share channels and the
+// classic local-global-local cycle appears; with vcs >= 2 the graph is
+// acyclic.
+func (d Dragonfly) ChannelGraph(vcs int) (ChannelGraph, error) {
+	if err := d.Validate(); err != nil {
+		return ChannelGraph{}, err
+	}
+	if vcs < 1 {
+		return ChannelGraph{}, fmt.Errorf("topology: dragonfly needs >= 1 virtual channel, got %d", vcs)
+	}
+	cg := ChannelGraph{Channels: d.NumChannels(vcs)}
+	for g := 0; g < d.Groups; g++ {
+		for r := 0; r < d.Routers; r++ {
+			for k := 0; k < d.Terminals; k++ {
+				cg.Inputs = append(cg.Inputs, d.Inj(g, r, k))
+				cg.Outputs = append(cg.Outputs, d.Ej(g, r, k))
+			}
+		}
+	}
+	seen := make(map[[2]int]bool)
+	add := func(from, to int) {
+		e := [2]int{from, to}
+		if !seen[e] {
+			seen[e] = true
+			cg.Edges = append(cg.Edges, e)
+		}
+	}
+	// route emits the channel chain from source router (g, r) to the
+	// ejection channels of destination router (g2, r2).
+	route := func(g, r, g2, r2 int) []int {
+		var hops []int
+		if g == g2 {
+			if r != r2 {
+				hops = append(hops, d.Local(g, r, r2, 0, vcs))
+			}
+			return hops
+		}
+		if gw := d.Gateway(g, g2); r != gw {
+			hops = append(hops, d.Local(g, r, gw, 0, vcs))
+		}
+		hops = append(hops, d.Global(g, g2, vcs))
+		if gw := d.Gateway(g2, g); gw != r2 {
+			hops = append(hops, d.Local(g2, gw, r2, vcs-1, vcs))
+		}
+		return hops
+	}
+	for g := 0; g < d.Groups; g++ {
+		for r := 0; r < d.Routers; r++ {
+			for g2 := 0; g2 < d.Groups; g2++ {
+				for r2 := 0; r2 < d.Routers; r2++ {
+					hops := route(g, r, g2, r2)
+					for k := 0; k < d.Terminals; k++ {
+						prev := d.Inj(g, r, k)
+						for _, h := range hops {
+							add(prev, h)
+							prev = h
+						}
+						for k2 := 0; k2 < d.Terminals; k2++ {
+							add(prev, d.Ej(g2, r2, k2))
+						}
+					}
+				}
+			}
+		}
+	}
+	return cg, nil
+}

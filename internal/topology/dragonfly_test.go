@@ -1,0 +1,163 @@
+// External test package: the dragonfly exerciser feeds its CDG through
+// graphio into the multi-mode verifier, and graphio depends on cdg,
+// which imports topology.
+package topology_test
+
+import (
+	"testing"
+
+	"ebda/internal/cdg"
+	"ebda/internal/graphio"
+	"ebda/internal/topology"
+)
+
+// dragonflyGraph bridges the plain-data ChannelGraph into a validated
+// graphio.Graph.
+func dragonflyGraph(t *testing.T, d topology.Dragonfly, vcs int) *graphio.Graph {
+	t.Helper()
+	cg, err := d.ChannelGraph(vcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graphio.New(cg.Channels, cg.Inputs, cg.Outputs, cg.Edges)
+	if err != nil {
+		t.Fatalf("generator produced an invalid graph: %v", err)
+	}
+	return g
+}
+
+func TestDragonflyValidate(t *testing.T) {
+	bad := []topology.Dragonfly{
+		{Groups: 1, Routers: 2, Terminals: 1},
+		{Groups: 2, Routers: 0, Terminals: 1},
+		{Groups: 2, Routers: 1, Terminals: 0},
+	}
+	for _, d := range bad {
+		if _, err := d.ChannelGraph(1); err == nil {
+			t.Fatalf("%+v accepted", d)
+		}
+	}
+	if _, err := (topology.Dragonfly{Groups: 2, Routers: 1, Terminals: 1}).ChannelGraph(0); err == nil {
+		t.Fatal("0 VCs accepted")
+	}
+}
+
+// TestDragonflySingleVCDeadlocks pins the classic result: minimal
+// routing over one virtual channel closes a local-global-local cycle.
+func TestDragonflySingleVCDeadlocks(t *testing.T) {
+	g := dragonflyGraph(t, topology.Dragonfly{Groups: 4, Routers: 2, Terminals: 1}, 1)
+	rep, err := g.Verify(cdg.ModeLoop, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK || rep.Reason != cdg.ReasonCycle || len(rep.Cycle) == 0 {
+		t.Fatalf("single-VC dragonfly verified: %+v", rep)
+	}
+	// The witness must alternate through at least one global channel:
+	// purely local cycles cannot occur inside a fully connected group.
+	d := topology.Dragonfly{Groups: 4, Routers: 2, Terminals: 1}
+	globalBase := d.Global(0, 1, 1)
+	hasGlobal := false
+	for _, c := range rep.Cycle {
+		if c >= globalBase-1 { // globals occupy the top id range
+			hasGlobal = true
+		}
+	}
+	if !hasGlobal {
+		t.Fatalf("cycle %v crosses no global channel", rep.Cycle)
+	}
+}
+
+// TestDragonflyTwoVCVerifies pins the fix: VC0 before the global hop,
+// VC1 after, and every mode verifies.
+func TestDragonflyTwoVCVerifies(t *testing.T) {
+	d := topology.Dragonfly{Groups: 4, Routers: 2, Terminals: 2}
+	g := dragonflyGraph(t, d, 2)
+	for _, mode := range []cdg.GraphMode{cdg.ModeLoop, cdg.ModeLiveness, cdg.ModeSubrel} {
+		rep, err := g.Verify(mode, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK {
+			t.Fatalf("%s: %+v", mode, rep)
+		}
+	}
+	// The VC1 local channels plus the global channels form a valid
+	// escape set under the Duato condition.
+	var escape []int
+	for grp := 0; grp < d.Groups; grp++ {
+		for i := 0; i < d.Routers; i++ {
+			for j := 0; j < d.Routers; j++ {
+				if i != j {
+					escape = append(escape, d.Local(grp, i, j, 1, 2))
+				}
+			}
+		}
+	}
+	for a := 0; a < d.Groups; a++ {
+		for b := 0; b < d.Groups; b++ {
+			if a != b {
+				escape = append(escape, d.Global(a, b, 2))
+			}
+		}
+	}
+	rep, err := g.Verify(cdg.ModeEscape, escape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("escape: %+v", rep)
+	}
+}
+
+// TestDragonflyRoundTrip exports the generated CDG through graphio and
+// reimports it byte-stably.
+func TestDragonflyRoundTrip(t *testing.T) {
+	g := dragonflyGraph(t, topology.Dragonfly{Groups: 3, Routers: 2, Terminals: 1}, 2)
+	data := g.ExportCDG()
+	g2, err := graphio.ParseCDG(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(g2.ExportCDG()); got != string(data) {
+		t.Fatalf("round trip drifted:\n%s", got)
+	}
+	rep, err := g2.Verify(cdg.ModeLiveness, nil)
+	if err != nil || !rep.OK {
+		t.Fatalf("reimported graph: %+v err=%v", rep, err)
+	}
+}
+
+// TestDragonflyChannelLayout pins the id layout so exported graphs stay
+// stable across refactors.
+func TestDragonflyChannelLayout(t *testing.T) {
+	d := topology.Dragonfly{Groups: 3, Routers: 2, Terminals: 2}
+	nt := 3 * 2 * 2
+	if got := d.Inj(0, 0, 0); got != 0 {
+		t.Fatalf("Inj(0,0,0) = %d", got)
+	}
+	if got := d.Inj(2, 1, 1); got != nt-1 {
+		t.Fatalf("Inj(2,1,1) = %d", got)
+	}
+	if got := d.Ej(0, 0, 0); got != nt {
+		t.Fatalf("Ej(0,0,0) = %d", got)
+	}
+	if got := d.Local(0, 0, 1, 0, 2); got != 2*nt {
+		t.Fatalf("Local(0,0,1,0) = %d", got)
+	}
+	wantGlobalBase := 2*nt + 3*2*1*2
+	if got := d.Global(0, 1, 2); got != wantGlobalBase {
+		t.Fatalf("Global(0,1) = %d", got)
+	}
+	if got := d.NumChannels(2); got != wantGlobalBase+3*2 {
+		t.Fatalf("NumChannels = %d", got)
+	}
+	// Distinct ids for every channel.
+	cg, err := d.ChannelGraph(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.Channels != d.NumChannels(2) {
+		t.Fatalf("graph channels %d != layout %d", cg.Channels, d.NumChannels(2))
+	}
+}

@@ -1,0 +1,79 @@
+#!/bin/sh
+# graph-smoke: the arbitrary-network CLI check wired into `make check`.
+#
+# Builds ebda-graph and drives it over the committed testdata/graphio
+# goldens in all four modes, asserting the exact verdict line and exit
+# code for each (0 verified, 1 violated, 2 usage/parse error), plus a
+# byte-stable export round-trip: text -> JSON -> text must reproduce
+# the golden exactly.
+set -eu
+
+GO=${GO:-go}
+GOLD=testdata/graphio
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+$GO build -o "$tmp/ebda-graph" ./cmd/ebda-graph
+
+fail=0
+
+# expect EXITCODE "VERDICT LINE" ARGS...
+expect() {
+    want_code=$1
+    want_out=$2
+    shift 2
+    set +e
+    out=$("$tmp/ebda-graph" "$@" 2>"$tmp/err")
+    code=$?
+    set -e
+    if [ "$code" != "$want_code" ]; then
+        echo "graph-smoke: ebda-graph $* exited $code, want $want_code" >&2
+        cat "$tmp/err" >&2
+        fail=1
+    elif [ "$out" != "$want_out" ]; then
+        echo "graph-smoke: ebda-graph $*" >&2
+        echo "  got:  $out" >&2
+        echo "  want: $want_out" >&2
+        fail=1
+    fi
+}
+
+# The 3x3 mesh XY-routed per-output CDG verifies in all four modes.
+expect 0 "loop: 18 channels, 17 edges: VERIFIED" \
+    verify -mode=loop "$GOLD/xy3x3-out4.txt"
+expect 0 "liveness: 18 channels, 17 edges: VERIFIED" \
+    verify -mode=liveness "$GOLD/xy3x3-out4.txt"
+expect 0 "escape: 18 channels, 17 edges: VERIFIED" \
+    verify -mode=escape -escape 10,11,12,13,14,15,16,17 "$GOLD/xy3x3-out4.txt"
+expect 0 "subrel: 18 channels, 17 edges: VERIFIED (subrelation: 17 edges)" \
+    verify -mode=subrel "$GOLD/xy3x3-out4.txt"
+
+# The four-channel ring violates every mode, each with its own witness.
+expect 1 "loop: 5 channels, 4 edges: VIOLATED (cycle): n1 => n2 => n3 => (repeat)" \
+    verify -mode=loop "$GOLD/cycle4.txt"
+expect 1 "liveness: 5 channels, 4 edges: VIOLATED (cycle): n0 => n1 => [n1 => n2 => n3 => (repeat)]" \
+    verify -mode=liveness "$GOLD/cycle4.txt"
+expect 1 "subrel: 5 channels, 4 edges: VIOLATED (no-subrelation): n0 => [n1 => n2 => n3 => (repeat)]" \
+    verify -mode=subrel "$GOLD/cycle4.txt"
+
+# The Duato exerciser: cyclic adaptive core, escape channel 4 drains it.
+expect 0 "escape: 6 channels, 7 edges: VERIFIED" \
+    verify -mode=escape -escape 4 "$GOLD/escape-ok.txt"
+expect 1 "liveness: 4 channels, 2 edges: VIOLATED (dead-end): n0 => n1 => n2" \
+    verify -mode=liveness "$GOLD/deadend.txt"
+
+# Usage and parse failures exit 2, never 0 or 1.
+expect 2 "" verify -mode=bogus "$GOLD/cycle4.txt"
+expect 2 "" import "$GOLD/does-not-exist.txt"
+
+# Round-trip: text -> JSON -> text reproduces the golden byte for byte.
+"$tmp/ebda-graph" export -json "$GOLD/escape-ok.txt" >"$tmp/g.json"
+"$tmp/ebda-graph" export "$tmp/g.json" >"$tmp/g.txt"
+if ! cmp -s "$tmp/g.txt" "$GOLD/escape-ok.txt"; then
+    echo "graph-smoke: export round-trip diverged from $GOLD/escape-ok.txt" >&2
+    diff "$GOLD/escape-ok.txt" "$tmp/g.txt" >&2 || true
+    fail=1
+fi
+
+[ "$fail" = 0 ] || exit 1
+echo "graph-smoke: all mode verdicts and round-trips match"
